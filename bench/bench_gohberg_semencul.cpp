@@ -1,0 +1,76 @@
+// Experiment E12 (Figure 1): the Gohberg-Semencul representation.
+// Applying T^{-1} through the formula costs four polynomial products
+// (O(M(n)) work) instead of the O(n^2) dense product; construction from two
+// Toeplitz solves beats forming the dense inverse.
+#include <cstdio>
+#include <vector>
+
+#include "field/zp.h"
+#include "matrix/gauss.h"
+#include "seq/gohberg_semencul.h"
+#include "util/op_count.h"
+#include "util/prng.h"
+#include "util/tables.h"
+
+using F = kp::field::Zp<1000003>;
+
+int main() {
+  F f;
+  kp::util::Prng prng(11);
+  kp::poly::PolyRing<F> ring(f);
+
+  std::printf("E12 (Figure 1): Gohberg-Semencul apply cost vs dense inverse\n\n");
+  kp::util::Table t({"n", "gs apply ops", "dense matvec ops", "apply ratio",
+                     "storage gs", "storage dense"});
+  std::vector<double> ns, gs_ops;
+  for (std::size_t n : {16u, 32u, 64u, 128u, 256u}) {
+    std::vector<F::Element> diag(2 * n - 1);
+    for (auto& v : diag) v = f.random(prng);
+    kp::matrix::Toeplitz<F> tp(n, diag);
+    auto gs = kp::seq::gs_from_toeplitz_gauss(f, tp);
+    if (!gs) continue;
+
+    std::vector<F::Element> z(n);
+    for (auto& e : z) e = f.random(prng);
+
+    kp::util::OpScope s1;
+    auto x1 = gs->apply(ring, z);
+    const auto ops_gs = s1.counts().total();
+
+    auto inv = kp::matrix::inverse_gauss(f, tp.to_dense(f));
+    kp::util::OpScope s2;
+    auto x2 = kp::matrix::mat_vec(f, *inv, z);
+    const auto ops_dense = s2.counts().total();
+
+    if (x1 != x2) {
+      std::printf("MISMATCH at n=%zu\n", n);
+      return 1;
+    }
+    ns.push_back(static_cast<double>(n));
+    gs_ops.push_back(static_cast<double>(ops_gs));
+    t.add_row({std::to_string(n), kp::util::Table::num(ops_gs),
+               kp::util::Table::num(ops_dense),
+               kp::util::Table::num(static_cast<double>(ops_gs) /
+                                        static_cast<double>(ops_dense),
+                                    3),
+               std::to_string(2 * n) + " elems",
+               std::to_string(n * n) + " elems"});
+  }
+  t.print();
+  std::printf("\nfitted gs-apply exponent: %.2f  (M(n): subquadratic; dense: 2)\n",
+              kp::util::fit_exponent(ns, gs_ops));
+
+  std::printf("\nTrace formula (O(n) multiplies) spot check vs dense trace: ");
+  {
+    const std::size_t n = 64;
+    std::vector<F::Element> diag(2 * n - 1);
+    for (auto& v : diag) v = f.random(prng);
+    kp::matrix::Toeplitz<F> tp(n, diag);
+    auto gs = kp::seq::gs_from_toeplitz_gauss(f, tp);
+    auto inv = kp::matrix::inverse_gauss(f, tp.to_dense(f));
+    auto tr = f.zero();
+    for (std::size_t i = 0; i < n; ++i) tr = f.add(tr, inv->at(i, i));
+    std::printf("%s\n", (gs && f.eq(gs->trace(f), tr)) ? "ok" : "FAIL");
+  }
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Experiment E8 (Theorem 6): the inverse circuit -- the gradient of the
+// determinant circuit divided by the determinant -- stays within the
+// Theorem-4 size/depth bounds and computes A^{-1} whenever the evaluation
+// avoids division by zero.
+#include <cstdio>
+#include <vector>
+
+#include "circuit/builders.h"
+#include "field/zp.h"
+#include "matrix/gauss.h"
+#include "util/prng.h"
+#include "util/tables.h"
+
+
+namespace {
+/// Last points of a series: the asymptotic regime (the NTT bivariate kernel
+/// engages from n = 8, so small-n points measure a different kernel).
+[[maybe_unused]] std::vector<double> tail(const std::vector<double>& v) {
+  const std::size_t keep = v.size() > 3 ? 3 : v.size();
+  return {v.end() - static_cast<std::ptrdiff_t>(keep), v.end()};
+}
+}  // namespace
+
+using F = kp::field::GFp;
+
+int main() {
+  F f(kp::field::kNttPrime);
+  kp::util::Prng prng(99);
+
+  std::printf("E8 (Theorem 6): inverse circuit = d(det)/dA / det\n\n");
+  kp::util::Table t({"n", "det size", "det depth", "inv size", "inv depth",
+                     "size ratio", "depth ratio", "eval check"});
+  std::vector<double> ns, sizes, depths;
+  for (std::size_t n : {2u, 3u, 4u, 6u, 8u, 12u}) {
+    auto det = kp::circuit::build_det_circuit(n, kp::field::kNttPrime);
+    auto inv = kp::circuit::build_inverse_circuit(n, kp::field::kNttPrime);
+
+    // Evaluate on a random non-singular matrix and verify against Gauss.
+    std::string check = "-";
+    auto a = kp::matrix::random_matrix(f, n, n, prng);
+    auto ref = kp::matrix::inverse_gauss(f, a);
+    if (ref) {
+      check = "FAIL";
+      for (int attempt = 0; attempt < 5; ++attempt) {
+        std::vector<F::Element> rnd(inv.num_randoms());
+        for (auto& e : rnd) e = f.sample(prng, 1u << 20);
+        auto res = inv.evaluate(f, a.data(), rnd);
+        if (!res.ok) continue;  // unlucky draw
+        bool good = true;
+        for (std::size_t i = 0; i < n && good; ++i) {
+          for (std::size_t j = 0; j < n && good; ++j) {
+            good = f.eq(res.outputs[i * n + j], ref->at(i, j));
+          }
+        }
+        check = good ? "ok" : "FAIL";
+        break;
+      }
+    }
+
+    ns.push_back(static_cast<double>(n));
+    sizes.push_back(static_cast<double>(inv.size()));
+    depths.push_back(static_cast<double>(inv.depth()));
+    t.add_row({std::to_string(n), kp::util::Table::num(std::uint64_t{det.size()}),
+               std::to_string(det.depth()),
+               kp::util::Table::num(std::uint64_t{inv.size()}),
+               std::to_string(inv.depth()),
+               kp::util::Table::num(
+                   static_cast<double>(inv.size()) / static_cast<double>(det.size()), 3),
+               kp::util::Table::num(static_cast<double>(inv.depth()) /
+                                        static_cast<double>(det.depth()),
+                                    3),
+               check});
+  }
+  t.print();
+  // Theorem 6's claim is the RATIO to the determinant circuit (the absolute
+  // growth is whatever the det circuit costs); the ratio columns above are
+  // the reproduced quantities.
+  (void)ns;
+  (void)sizes;
+  (void)depths;
+  std::printf(
+      "\nTheorem 6: size ratio <= ~4 + n^2 division overhead, depth ratio O(1);\n"
+      "n^2 outputs computed at asymptotically the cost of ONE determinant.\n");
+  return 0;
+}

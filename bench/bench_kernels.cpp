@@ -1,0 +1,130 @@
+// Wall-clock micro-benchmarks of the substrate kernels (google-benchmark).
+// These complement the op-count experiments: op counts are the paper's cost
+// model, wall time shows the constants of this implementation.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "field/zp.h"
+#include "matrix/gauss.h"
+#include "matrix/matmul.h"
+#include "poly/poly.h"
+#include "seq/berlekamp_massey.h"
+#include "seq/linear_gen.h"
+#include "seq/newton_toeplitz.h"
+#include "util/prng.h"
+
+namespace {
+
+using F = kp::field::GFp;
+
+F make_field() { return F(kp::field::kNttPrime); }
+
+void BM_FieldMul(benchmark::State& state) {
+  auto f = make_field();
+  kp::util::Prng prng(1);
+  auto a = f.random(prng);
+  const auto b = f.random(prng);
+  for (auto _ : state) {
+    a = f.mul(a, b);
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_FieldMul);
+
+void BM_FieldInv(benchmark::State& state) {
+  auto f = make_field();
+  kp::util::Prng prng(2);
+  auto a = f.random(prng);
+  for (auto _ : state) {
+    a = f.inv(f.add(a, f.one()));
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_FieldInv);
+
+void BM_PolyMul(benchmark::State& state) {
+  auto f = make_field();
+  const auto strategy = static_cast<kp::poly::MulStrategy>(state.range(1));
+  kp::poly::PolyRing<F> ring(f, strategy);
+  kp::util::Prng prng(3);
+  auto a = ring.random_degree(prng, state.range(0));
+  auto b = ring.random_degree(prng, state.range(0));
+  for (auto _ : state) {
+    auto c = ring.mul(a, b);
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PolyMul)
+    ->ArgsProduct({{64, 256, 1024},
+                   {static_cast<int>(kp::poly::MulStrategy::kSchoolbook),
+                    static_cast<int>(kp::poly::MulStrategy::kKaratsuba),
+                    static_cast<int>(kp::poly::MulStrategy::kNtt)}});
+
+void BM_MatMul(benchmark::State& state) {
+  auto f = make_field();
+  const auto strategy = static_cast<kp::matrix::MatMulStrategy>(state.range(1));
+  kp::util::Prng prng(4);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto a = kp::matrix::random_matrix(f, n, n, prng);
+  auto b = kp::matrix::random_matrix(f, n, n, prng);
+  for (auto _ : state) {
+    auto c = kp::matrix::mat_mul(f, a, b, strategy);
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_MatMul)
+    ->ArgsProduct({{32, 64, 128},
+                   {static_cast<int>(kp::matrix::MatMulStrategy::kClassical),
+                    static_cast<int>(kp::matrix::MatMulStrategy::kStrassen)}});
+
+void BM_BerlekampMassey(benchmark::State& state) {
+  auto f = make_field();
+  kp::util::Prng prng(5);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<F::Element> mp(n + 1);
+  for (std::size_t i = 0; i < n; ++i) mp[i] = f.random(prng);
+  mp[n] = f.one();
+  std::vector<F::Element> seed(n);
+  for (auto& v : seed) v = f.random(prng);
+  auto seq = kp::seq::sequence_with_minpoly(f, mp, seed, 2 * n);
+  for (auto _ : state) {
+    auto g = kp::seq::berlekamp_massey(f, seq);
+    benchmark::DoNotOptimize(g);
+  }
+}
+BENCHMARK(BM_BerlekampMassey)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_ToeplitzCharpoly(benchmark::State& state) {
+  auto f = make_field();
+  kp::util::Prng prng(6);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<F::Element> diag(2 * n - 1);
+  for (auto& v : diag) v = f.random(prng);
+  kp::matrix::Toeplitz<F> t(n, diag);
+  for (auto _ : state) {
+    auto p = kp::seq::toeplitz_charpoly(f, t);
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_ToeplitzCharpoly)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_GaussSolve(benchmark::State& state) {
+  auto f = make_field();
+  kp::util::Prng prng(7);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto a = kp::matrix::random_matrix(f, n, n, prng);
+  std::vector<F::Element> b(n);
+  for (auto& e : b) e = f.random(prng);
+  for (auto _ : state) {
+    auto x = kp::matrix::solve_gauss(f, a, b);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_GaussSolve)->Arg(32)->Arg(64)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

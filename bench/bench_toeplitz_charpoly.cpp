@@ -1,0 +1,111 @@
+// Experiment E5 (Theorem 3): characteristic polynomial of an n x n Toeplitz
+// matrix in O(n^2 polylog n) work and polylog depth.
+//
+// Reported series:
+//   1. field-operation counts of the Newton-on-Toeplitz route vs n, with the
+//      fitted growth exponent (paper: ~2 + polylog, vs 4 for the
+//      division-free baselines);
+//   2. the same for Berkowitz (O(n^4)) and Faddeev-LeVerrier (O(n^4)) on the
+//      dense copy, including the work crossover;
+//   3. size and depth of the recorded Theorem-3 circuit vs n (depth must
+//      grow polylogarithmically).
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "circuit/builders.h"
+#include "core/baselines.h"
+#include "field/zp.h"
+#include "seq/newton_toeplitz.h"
+#include "util/op_count.h"
+#include "util/prng.h"
+#include "util/tables.h"
+
+
+namespace {
+/// Last points of a series: the asymptotic regime (the NTT bivariate kernel
+/// engages from n = 8, so small-n points measure a different kernel).
+std::vector<double> tail(const std::vector<double>& v) {
+  const std::size_t keep = v.size() > 3 ? 3 : v.size();
+  return {v.end() - static_cast<std::ptrdiff_t>(keep), v.end()};
+}
+}  // namespace
+
+using F = kp::field::GFp;  // NTT-friendly prime: fast bivariate mult
+
+int main() {
+  F f(kp::field::kNttPrime);
+  kp::util::Prng prng(42);
+
+  std::printf("E5 (Theorem 3): Toeplitz characteristic polynomial work counts\n\n");
+  kp::util::Table t({"n", "newton-toeplitz ops", "berkowitz ops", "faddeev ops",
+                     "newton/n^2", "berkowitz/n^4"});
+  std::vector<double> ns, newton_ops, berk_ops;
+  for (std::size_t n : {8u, 16u, 32u, 64u, 128u}) {
+    std::vector<F::Element> diag(2 * n - 1);
+    for (auto& v : diag) v = f.random(prng);
+    kp::matrix::Toeplitz<F> tp(n, diag);
+
+    kp::util::OpScope s1;
+    auto p1 = kp::seq::toeplitz_charpoly(f, tp);
+    const auto ops_newton = s1.counts().total();
+
+    std::uint64_t ops_berk = 0, ops_fadd = 0;
+    if (n <= 64) {
+      auto dense = tp.to_dense(f);
+      kp::util::OpScope s2;
+      auto p2 = kp::core::charpoly_berkowitz(f, dense);
+      ops_berk = s2.counts().total();
+      kp::util::OpScope s3;
+      auto p3 = kp::core::faddeev_leverrier(f, dense).charpoly;
+      ops_fadd = s3.counts().total();
+      if (p1 != p2 || p1 != p3) {
+        std::printf("MISMATCH at n=%zu!\n", n);
+        return 1;
+      }
+    }
+    ns.push_back(static_cast<double>(n));
+    newton_ops.push_back(static_cast<double>(ops_newton));
+    if (ops_berk) berk_ops.push_back(static_cast<double>(ops_berk));
+
+    const double n2 = static_cast<double>(n) * static_cast<double>(n);
+    const double n4 = n2 * n2;
+    t.add_row({std::to_string(n), kp::util::Table::num(ops_newton),
+               ops_berk ? kp::util::Table::num(ops_berk) : "-",
+               ops_fadd ? kp::util::Table::num(ops_fadd) : "-",
+               kp::util::Table::num(static_cast<double>(ops_newton) / n2, 3),
+               ops_berk ? kp::util::Table::num(static_cast<double>(ops_berk) / n4, 3)
+                        : "-"});
+  }
+  t.print();
+  std::printf("\nfitted work exponent (newton-toeplitz): %.2f   (paper: 2 + polylog)\n",
+              kp::util::fit_exponent(ns, newton_ops));
+  std::vector<double> bns(ns.begin(), ns.begin() + static_cast<std::ptrdiff_t>(berk_ops.size()));
+  std::printf("fitted work exponent (berkowitz):       %.2f   (theory: 4)\n\n",
+              kp::util::fit_exponent(bns, berk_ops));
+
+  std::printf("Theorem-3 circuit size and depth (recorded program):\n\n");
+  kp::util::Table tc({"n", "size", "depth", "size/n^2", "depth/log2(n)^2"});
+  std::vector<double> cns, sizes, depths;
+  for (std::size_t n : {2u, 4u, 8u, 16u, 32u}) {
+    auto c = kp::circuit::build_toeplitz_charpoly_circuit(n, kp::field::kNttPrime);
+    cns.push_back(static_cast<double>(n));
+    sizes.push_back(static_cast<double>(c.size()));
+    depths.push_back(static_cast<double>(c.depth()));
+    const double lg = std::log2(static_cast<double>(n));
+    tc.add_row({std::to_string(n), kp::util::Table::num(std::uint64_t{c.size()}),
+                std::to_string(c.depth()),
+                kp::util::Table::num(static_cast<double>(c.size()) /
+                                         (static_cast<double>(n) * static_cast<double>(n)),
+                                     3),
+                kp::util::Table::num(static_cast<double>(c.depth()) /
+                                         (lg * lg > 0 ? lg * lg : 1),
+                                     3)});
+  }
+  tc.print();
+  std::printf("\nfitted size exponent:  %.2f  (paper: ~2 up to log factors)\n",
+              kp::util::fit_exponent(tail(cns), tail(sizes)));
+  std::printf("fitted depth exponent: %.2f  (polylog: exponent must be ~0)\n",
+              kp::util::fit_exponent(tail(cns), tail(depths)));
+  return 0;
+}

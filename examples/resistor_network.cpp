@@ -1,0 +1,76 @@
+// Exact nodal analysis of a resistor ladder over Q.
+//
+// The node-voltage equations of a resistive circuit are a linear system
+// G v = i with G the (reduced) conductance Laplacian.  Solving it exactly
+// over Q gives closed-form resistances; for the infinite unit-resistor
+// ladder the input resistance converges to the golden-ratio value
+// (1 + sqrt(5))/2 - 1/2... precisely: R = (1+sqrt(3)) for a different
+// ladder; here we verify the classic finite-ladder recurrence
+//   R_1 = 2,  R_{m+1} = 1 + R_m / (1 + R_m)      (series 1 + parallel(1, R_m))
+// against the exact linear-algebra solution of the full network.
+#include <cstdio>
+#include <vector>
+
+#include "core/solver.h"
+#include "field/rational.h"
+#include "matrix/dense.h"
+#include "util/prng.h"
+
+using kp::field::BigInt;
+using kp::field::Rational;
+using kp::field::RationalField;
+using Mat = kp::matrix::Matrix<RationalField>;
+
+int main() {
+  RationalField q;
+  kp::util::Prng prng(99);
+
+  std::printf("Exact resistor-ladder analysis over Q (unit resistors)\n\n");
+  std::printf("ladder with m sections: R_in from nodal analysis vs recurrence\n");
+
+  for (std::size_t m : {1u, 2u, 4u, 8u, 12u}) {
+    // Nodes: 0 (input), 1..m (ladder joints); ground is eliminated.
+    // Section j: series resistor between node j-1 and node j, plus a shunt
+    // resistor from node j to ground.  Unit conductances.
+    const std::size_t n = m + 1;
+    Mat g(n, n, q.zero());
+    auto add_edge = [&](std::size_t a, std::size_t b) {
+      // Conductance 1 between nodes a and b (b = SIZE_MAX means ground).
+      g.at(a, a) = q.add(g.at(a, a), q.one());
+      if (b != static_cast<std::size_t>(-1)) {
+        g.at(b, b) = q.add(g.at(b, b), q.one());
+        g.at(a, b) = q.sub(g.at(a, b), q.one());
+        g.at(b, a) = q.sub(g.at(b, a), q.one());
+      }
+    };
+    for (std::size_t j = 1; j <= m; ++j) {
+      add_edge(j - 1, j);                          // series resistor
+      add_edge(j, static_cast<std::size_t>(-1));   // shunt to ground
+    }
+
+    // Inject 1 A into node 0; v_0 is then the input resistance.
+    std::vector<Rational> current(n, q.zero());
+    current[0] = q.one();
+    auto res = kp::core::kp_solve(q, g, current, prng);
+
+    // Reference recurrence evaluated exactly.
+    Rational r(2);
+    for (std::size_t j = 1; j < m; ++j) {
+      r = q.add(q.one(), q.div(r, q.add(q.one(), r)));
+    }
+
+    const bool match = res.ok && q.eq(res.x[0], r);
+    std::printf("  m=%-2zu  R_in = %-22s recurrence = %-22s %s\n", m,
+                res.ok ? res.x[0].to_string().c_str() : "?",
+                r.to_string().c_str(), match ? "[ok]" : "[MISMATCH]");
+  }
+
+  // Fixed point of the recurrence: R = 1 + R/(1+R)  =>  R^2 = R + 1,
+  // i.e. the golden ratio.
+  Rational r(2);
+  for (int j = 1; j < 24; ++j) r = q.add(q.one(), q.div(r, q.add(q.one(), r)));
+  std::printf("\nThe exact values converge to the golden ratio phi = (1+sqrt 5)/2:\n");
+  std::printf("  phi ~ 1.6180339887...; the 24-section ladder gives %s ~ %.10f\n",
+              r.to_string().c_str(), r.to_double());
+  return 0;
+}

@@ -1,0 +1,78 @@
+#include "circuit/circuit.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace kp::circuit {
+
+NodeId Circuit::push(Node n) {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(n);
+  return id;
+}
+
+NodeId Circuit::input() {
+  const NodeId id = push({Op::kInput});
+  inputs_.push_back(id);
+  return id;
+}
+
+NodeId Circuit::constant(std::int64_t v) {
+  Node n{Op::kConst};
+  n.value = v;
+  return push(n);
+}
+
+NodeId Circuit::random_element() {
+  const NodeId id = push({Op::kRandom});
+  randoms_.push_back(id);
+  return id;
+}
+
+NodeId Circuit::add(NodeId a, NodeId b) {
+  assert(a < nodes_.size() && b < nodes_.size());
+  Node n{Op::kAdd, a, b};
+  n.depth = std::max(nodes_[a].depth, nodes_[b].depth) + 1;
+  ++arithmetic_count_;
+  return push(n);
+}
+
+NodeId Circuit::sub(NodeId a, NodeId b) {
+  assert(a < nodes_.size() && b < nodes_.size());
+  Node n{Op::kSub, a, b};
+  n.depth = std::max(nodes_[a].depth, nodes_[b].depth) + 1;
+  ++arithmetic_count_;
+  return push(n);
+}
+
+NodeId Circuit::mul(NodeId a, NodeId b) {
+  assert(a < nodes_.size() && b < nodes_.size());
+  Node n{Op::kMul, a, b};
+  n.depth = std::max(nodes_[a].depth, nodes_[b].depth) + 1;
+  ++arithmetic_count_;
+  return push(n);
+}
+
+NodeId Circuit::div(NodeId a, NodeId b) {
+  assert(a < nodes_.size() && b < nodes_.size());
+  Node n{Op::kDiv, a, b};
+  n.depth = std::max(nodes_[a].depth, nodes_[b].depth) + 1;
+  ++arithmetic_count_;
+  return push(n);
+}
+
+NodeId Circuit::neg(NodeId a) {
+  assert(a < nodes_.size());
+  Node n{Op::kNeg, a, a};
+  n.depth = nodes_[a].depth + 1;
+  ++arithmetic_count_;
+  return push(n);
+}
+
+std::uint32_t Circuit::depth() const {
+  std::uint32_t d = 0;
+  for (NodeId id : outputs_) d = std::max(d, nodes_[id].depth);
+  return d;
+}
+
+}  // namespace kp::circuit

@@ -1,0 +1,172 @@
+// The Baur-Strassen / Kaltofen-Singer derivative transform (Theorem 5).
+//
+// Given a circuit P of length l and depth d computing a single rational
+// function f(x_1..x_k), produce a circuit Q computing f AND all partial
+// derivatives df/dx_i, with length <= ~4l and depth O(d).  Q divides only
+// by quantities P divides by, so no new zero-division is introduced --
+// the property Theorem 6 leans on.
+//
+// The construction is reverse-mode differentiation over the DAG:
+// each node's adjoint is accumulated from the uses of that node.  The
+// accumulation style is the depth story of the paper's Figure 3 + Hoover
+// et al.:
+//   * kLinear   -- naive left-to-right accumulation: depth O(d * t) for
+//                  fan-out t (what the paper starts from),
+//   * kBalanced -- depth-weighted (Huffman-like) balanced trees: combining
+//                  the two shallowest terms first keeps the total depth
+//                  O(d), the Theorem-5 bound.
+// bench_derivative measures both (experiments E7/E13).
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "circuit/circuit.h"
+
+namespace kp::circuit {
+
+enum class Accumulation {
+  kLinear,
+  kBalanced,
+};
+
+/// The gradient circuit: outputs are [f, df/dx_1, ..., df/dx_k] where x_i
+/// are the INPUT leaves of src (in src.inputs() order).  Random leaves are
+/// treated as constants of differentiation.  src must have exactly one
+/// output.
+inline Circuit gradient(const Circuit& src,
+                        Accumulation style = Accumulation::kBalanced) {
+  assert(src.num_outputs() == 1 && "gradient expects a scalar function");
+  const auto& nodes = src.nodes();
+  const NodeId out_id = src.outputs()[0];
+
+  // Replay src into q; node ids map 1:1 because push order is identical.
+  Circuit q;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const Node& n = nodes[i];
+    switch (n.op) {
+      case Op::kInput:
+        q.input();
+        break;
+      case Op::kConst:
+        q.constant(n.value);
+        break;
+      case Op::kRandom:
+        q.random_element();
+        break;
+      case Op::kAdd:
+        q.add(n.a, n.b);
+        break;
+      case Op::kSub:
+        q.sub(n.a, n.b);
+        break;
+      case Op::kMul:
+        q.mul(n.a, n.b);
+        break;
+      case Op::kDiv:
+        q.div(n.a, n.b);
+        break;
+      case Op::kNeg:
+        q.neg(n.a);
+        break;
+    }
+  }
+
+  // Signed adjoint contributions per source node.
+  struct Term {
+    NodeId id;
+    bool negate;
+  };
+  std::vector<std::vector<Term>> contribs(nodes.size());
+  const NodeId one = q.constant(1);
+  contribs[out_id].push_back({one, false});
+
+  // Combines a term list into a single node (or returns nullopt when empty).
+  auto combine = [&](std::vector<Term>& terms) -> std::optional<NodeId> {
+    if (terms.empty()) return std::nullopt;
+    auto reduce = [&](std::vector<NodeId>& ids) -> std::optional<NodeId> {
+      if (ids.empty()) return std::nullopt;
+      if (style == Accumulation::kLinear) {
+        NodeId acc = ids[0];
+        for (std::size_t i = 1; i < ids.size(); ++i) acc = q.add(acc, ids[i]);
+        return acc;
+      }
+      // Depth-weighted Huffman: always combine the two shallowest terms.
+      using Entry = std::pair<std::uint32_t, NodeId>;
+      std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+      for (NodeId id : ids) heap.push({q.depth_of(id), id});
+      while (heap.size() > 1) {
+        const auto x = heap.top();
+        heap.pop();
+        const auto y = heap.top();
+        heap.pop();
+        const NodeId s = q.add(x.second, y.second);
+        heap.push({q.depth_of(s), s});
+      }
+      return heap.top().second;
+    };
+    std::vector<NodeId> pos, neg;
+    for (const Term& t : terms) (t.negate ? neg : pos).push_back(t.id);
+    const auto p = reduce(pos);
+    const auto m = reduce(neg);
+    if (p && m) return q.sub(*p, *m);
+    if (p) return *p;
+    return q.neg(*m);
+  };
+
+  // Reverse sweep: adjoints flow from users to operands.
+  std::vector<NodeId> input_adjoint(src.num_inputs(), 0);
+  std::vector<bool> input_has_adjoint(src.num_inputs(), false);
+  std::size_t input_index_of = src.num_inputs();  // walk inputs back to front
+
+  for (std::size_t i = nodes.size(); i-- > 0;) {
+    const Node& n = nodes[i];
+    if (n.op == Op::kInput) --input_index_of;
+    auto adj = combine(contribs[i]);
+    contribs[i].clear();
+    contribs[i].shrink_to_fit();
+    if (!adj) continue;
+    switch (n.op) {
+      case Op::kInput:
+        input_adjoint[input_index_of] = *adj;
+        input_has_adjoint[input_index_of] = true;
+        break;
+      case Op::kConst:
+      case Op::kRandom:
+        break;  // constants of differentiation
+      case Op::kAdd:
+        contribs[n.a].push_back({*adj, false});
+        contribs[n.b].push_back({*adj, false});
+        break;
+      case Op::kSub:
+        contribs[n.a].push_back({*adj, false});
+        contribs[n.b].push_back({*adj, true});
+        break;
+      case Op::kNeg:
+        contribs[n.a].push_back({*adj, true});
+        break;
+      case Op::kMul:
+        contribs[n.a].push_back({q.mul(*adj, n.b), false});
+        contribs[n.b].push_back({q.mul(*adj, n.a), false});
+        break;
+      case Op::kDiv: {
+        // i = a / b: d/da = adj/b; d/db = -(adj/b) * (a/b) = -t * node_i.
+        const NodeId t = q.div(*adj, n.b);
+        contribs[n.a].push_back({t, false});
+        contribs[n.b].push_back({q.mul(t, static_cast<NodeId>(i)), true});
+        break;
+      }
+    }
+  }
+
+  q.mark_output(out_id);  // f itself
+  const NodeId zero = q.constant(0);
+  for (std::size_t k = 0; k < src.num_inputs(); ++k) {
+    q.mark_output(input_has_adjoint[k] ? input_adjoint[k] : zero);
+  }
+  return q;
+}
+
+}  // namespace kp::circuit

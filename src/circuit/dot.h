@@ -1,0 +1,62 @@
+// Graphviz export of algebraic circuits.
+//
+// Small circuits (the Figure-2/3 scale of the paper) render nicely with
+// `dot -Tsvg`; for large pipelines use the statistics in Circuit directly.
+#pragma once
+
+#include <string>
+
+#include "circuit/circuit.h"
+
+namespace kp::circuit {
+
+/// Renders the circuit in Graphviz dot syntax.  Leaves are boxes (inputs
+/// labelled x0.., constants by value, randoms r0..), arithmetic nodes are
+/// ellipses labelled with their operator, outputs are double circles.
+inline std::string to_dot(const Circuit& c, const std::string& name = "circuit") {
+  std::string out = "digraph " + name + " {\n  rankdir=BT;\n";
+  std::size_t input_idx = 0, random_idx = 0;
+  const auto& nodes = c.nodes();
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const Node& n = nodes[i];
+    const std::string id = "n" + std::to_string(i);
+    switch (n.op) {
+      case Op::kInput:
+        out += "  " + id + " [shape=box,label=\"x" + std::to_string(input_idx++) +
+               "\"];\n";
+        break;
+      case Op::kConst:
+        out += "  " + id + " [shape=box,style=dotted,label=\"" +
+               std::to_string(n.value) + "\"];\n";
+        break;
+      case Op::kRandom:
+        out += "  " + id + " [shape=box,style=dashed,label=\"r" +
+               std::to_string(random_idx++) + "\"];\n";
+        break;
+      case Op::kAdd:
+      case Op::kSub:
+      case Op::kMul:
+      case Op::kDiv:
+      case Op::kNeg: {
+        const char* label = n.op == Op::kAdd   ? "+"
+                            : n.op == Op::kSub ? "-"
+                            : n.op == Op::kMul ? "*"
+                            : n.op == Op::kDiv ? "/"
+                                               : "neg";
+        out += "  " + id + " [label=\"" + label + "\"];\n";
+        out += "  n" + std::to_string(n.a) + " -> " + id + ";\n";
+        if (n.op != Op::kNeg) {
+          out += "  n" + std::to_string(n.b) + " -> " + id + ";\n";
+        }
+        break;
+      }
+    }
+  }
+  for (NodeId o : c.outputs()) {
+    out += "  n" + std::to_string(o) + " [peripheries=2];\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace kp::circuit

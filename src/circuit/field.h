@@ -1,0 +1,161 @@
+// CircuitBuilderField: a symbolic "field" whose elements are circuit nodes.
+//
+// This is how the library realizes the paper's circuits without writing the
+// pipeline twice: CircuitBuilderField satisfies the same Field concept as
+// Z/pZ or Q, so running kp_det / toeplitz_charpoly / krylov_block over it
+// *records* every arithmetic operation into a Circuit.  The recorded object
+// is exactly the randomized algebraic circuit of Theorems 4 and 6: inputs
+// are the matrix/vector entries, kRandom leaves are the O(n) random
+// elements, and unlucky evaluations divide by zero.
+//
+// Zero tests are resolved conservatively (a node is "zero" only when it is a
+// literal zero constant), which matches the paper's model: the algorithms
+// realize straight-line programs with NO data-dependent zero tests.
+// Constant folding and the algebraic peepholes (x+0, x*1, x*0, ...) keep the
+// recorded circuit close to what a hand construction would produce.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "circuit/circuit.h"
+#include "poly/poly.h"
+#include "util/prng.h"
+
+namespace kp::circuit {
+
+class CircuitBuilderField {
+ public:
+  using Element = NodeId;
+
+  /// `characteristic` is the characteristic of the field the circuit will
+  /// be evaluated over; it gates the Leverrier precondition exactly as for
+  /// a concrete field.
+  explicit CircuitBuilderField(Circuit& c, std::uint64_t characteristic = 0)
+      : c_(&c), characteristic_(characteristic) {
+    zero_ = c_->constant(0);
+    one_ = c_->constant(1);
+  }
+
+  Element zero() const { return zero_; }
+  Element one() const { return one_; }
+
+  Element add(Element a, Element b) const {
+    if (a == zero_) return b;
+    if (b == zero_) return a;
+    if (auto folded = fold2(a, b, [](std::int64_t x, std::int64_t y) { return x + y; })) {
+      return *folded;
+    }
+    return c_->add(a, b);
+  }
+  Element sub(Element a, Element b) const {
+    if (b == zero_) return a;
+    if (a == zero_) return neg(b);
+    if (a == b) return zero_;
+    if (auto folded = fold2(a, b, [](std::int64_t x, std::int64_t y) { return x - y; })) {
+      return *folded;
+    }
+    return c_->sub(a, b);
+  }
+  Element neg(Element a) const {
+    if (a == zero_) return zero_;
+    if (is_const(a)) return c_->constant(-const_of(a));
+    return c_->neg(a);
+  }
+  Element mul(Element a, Element b) const {
+    if (a == zero_ || b == zero_) return zero_;
+    if (a == one_) return b;
+    if (b == one_) return a;
+    if (auto folded = fold2(a, b, [](std::int64_t x, std::int64_t y) { return x * y; })) {
+      return *folded;
+    }
+    return c_->mul(a, b);
+  }
+  Element inv(Element a) const { return div(one_, a); }
+  Element div(Element a, Element b) const {
+    if (b == one_) return a;
+    if (a == zero_ && b != zero_) return zero_;
+    return c_->div(a, b);
+  }
+
+  /// Conservative symbolic zero test: only literal zero is zero.  This keeps
+  /// the recorded program straight-line (the paper's "no zero-tests").
+  bool is_zero(Element a) const { return is_const(a) && const_of(a) == 0; }
+  bool eq(Element a, Element b) const {
+    if (a == b) return true;
+    return is_const(a) && is_const(b) && const_of(a) == const_of(b);
+  }
+
+  Element from_int(std::int64_t v) const {
+    if (v == 0) return zero_;
+    if (v == 1) return one_;
+    return c_->constant(v);
+  }
+  /// A fresh random-element leaf: running a randomized algorithm over this
+  /// field materializes its O(n) random nodes.
+  Element random(kp::util::Prng&) const { return c_->random_element(); }
+  Element sample(kp::util::Prng&, std::uint64_t) const {
+    return c_->random_element();
+  }
+
+  std::uint64_t characteristic() const { return characteristic_; }
+  std::uint64_t cardinality() const { return 0; }
+  std::string to_string(Element a) const { return "#" + std::to_string(a); }
+
+  Circuit& circuit() const { return *c_; }
+
+ private:
+  bool is_const(Element a) const { return c_->nodes()[a].op == Op::kConst; }
+  std::int64_t const_of(Element a) const { return c_->nodes()[a].value; }
+
+  template <class Fn>
+  std::optional<Element> fold2(Element a, Element b, Fn&& fn) const {
+    if (!is_const(a) || !is_const(b)) return std::nullopt;
+    // Fold only when safely in range (constants stay small in practice).
+    const std::int64_t x = const_of(a), y = const_of(b);
+    if (x > -(1LL << 30) && x < (1LL << 30) && y > -(1LL << 30) && y < (1LL << 30)) {
+      return from_int(fn(x, y));
+    }
+    return std::nullopt;
+  }
+
+  Circuit* c_;
+  std::uint64_t characteristic_;
+  Element zero_, one_;
+};
+
+}  // namespace kp::circuit
+
+namespace kp::poly {
+
+/// Symbolic NTT: when the circuit's TARGET field is a prime field with
+/// enough 2-adic roots of unity, polynomial products inside recorded
+/// circuits use the generic NTT (roots injected as constants).  This is
+/// what keeps the recorded Theorem-3/4 circuits at the paper's
+/// O(n^2 polylog) / O(n^omega log n) sizes rather than Karatsuba's
+/// exponent-1.58 blowup per layer.
+template <>
+struct NttTraits<kp::circuit::CircuitBuilderField> {
+  using CF = kp::circuit::CircuitBuilderField;
+  static constexpr bool kSupported = true;
+  static bool available(const CF& cf, std::size_t out_len) {
+    const std::uint64_t p = cf.characteristic();
+    if (p < 3) return false;
+    std::size_t n = 1;
+    int log_n = 0;
+    while (n < out_len) {
+      n <<= 1;
+      ++log_n;
+    }
+    return log_n <= detail::two_adicity(p);
+  }
+  static std::vector<typename CF::Element> mul(
+      const CF& cf, const std::vector<typename CF::Element>& a,
+      const std::vector<typename CF::Element>& b) {
+    return ntt_mul_prime_field(cf, a, b);
+  }
+};
+
+}  // namespace kp::poly

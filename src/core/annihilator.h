@@ -1,0 +1,53 @@
+// Solving A x = b from an annihilating polynomial of A (or of the Krylov
+// sequence of b): the Cayley-Hamilton finish used by both Wiedemann's
+// black-box solver and the Theorem-4 pipeline.
+//
+// If g(lambda) = g_0 + g_1 lambda + ... + lambda^d annihilates the sequence
+// {A^i b} and g_0 != 0 (guaranteed for non-singular A and the minimal g),
+// then
+//     0 = g(A) b  =>  A^{-1} b = -(1/g_0) (g_1 b + g_2 A b + ... + A^{d-1} b).
+#pragma once
+
+#include <cassert>
+#include <vector>
+
+#include "field/concepts.h"
+#include "matrix/blackbox.h"
+#include "matrix/dense.h"
+
+namespace kp::core {
+
+/// Coefficients q of the solution combination: x = sum_j q_j A^j b, derived
+/// from a monic annihilator g with g_0 != 0; q_j = -g_{j+1} / g_0.
+template <kp::field::Field F>
+std::vector<typename F::Element> solution_combination(
+    const F& f, const std::vector<typename F::Element>& g) {
+  assert(g.size() >= 2 && !f.eq(g[0], f.zero()) &&
+         "annihilator must have a nonzero constant term");
+  const auto scale = f.neg(f.inv(g[0]));
+  std::vector<typename F::Element> q(g.size() - 1, f.zero());
+  for (std::size_t j = 0; j + 1 < g.size(); ++j) {
+    q[j] = f.mul(scale, g[j + 1]);
+  }
+  return q;
+}
+
+/// Black-box solve from an annihilator: d-1 products with the box.
+template <kp::field::Field F, matrix::LinOp B>
+std::vector<typename F::Element> solve_from_annihilator(
+    const F& f, const B& box, const std::vector<typename F::Element>& g,
+    const std::vector<typename F::Element>& b) {
+  const auto q = solution_combination(f, g);
+  std::vector<typename F::Element> w = b;
+  std::vector<typename F::Element> x(b.size(), f.zero());
+  for (std::size_t j = 0; j < q.size(); ++j) {
+    if (j) w = box.apply(w);
+    if (f.eq(q[j], f.zero())) continue;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      x[i] = f.add(x[i], f.mul(q[j], w[i]));
+    }
+  }
+  return x;
+}
+
+}  // namespace kp::core

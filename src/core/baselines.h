@@ -1,0 +1,180 @@
+// Characteristic-polynomial / determinant baselines the paper positions
+// itself against (section 1):
+//
+//   * Csanky/Leverrier ('76)      -- power sums by explicit matrix powers,
+//                                    then Newton identities.  NC^2 but
+//                                    ~n^{omega+1} work; divides by 2..n.
+//   * Faddeev-LeVerrier           -- the classical O(n^4) adjoint recursion;
+//                                    divides by 2..n; also yields A^{-1}.
+//   * Berkowitz ('84)             -- division-free, works over ANY
+//                                    commutative ring; O(n^4) work.
+//   * Chistov ('85)               -- division-free except unit power series,
+//                                    works in ANY characteristic; the
+//                                    section-5 small-characteristic route.
+//
+// All return the monic characteristic polynomial det(lambda I - A),
+// little-endian, length n+1; bench_comparison measures their work against
+// the Theorem-3/4 pipeline.
+#pragma once
+
+#include <cassert>
+#include <vector>
+
+#include "field/concepts.h"
+#include "matrix/dense.h"
+#include "matrix/matmul.h"
+#include "poly/poly.h"
+#include "seq/newton_identities.h"
+
+namespace kp::core {
+
+/// Csanky's method: s_i = Trace(A^i) for i = 1..n via explicit powers, then
+/// the Newton-identity solve.  Requires char(K) = 0 or > n.
+template <kp::field::Field F>
+std::vector<typename F::Element> charpoly_csanky(
+    const F& f, const matrix::Matrix<F>& a,
+    matrix::MatMulStrategy strategy = matrix::MatMulStrategy::kClassical) {
+  assert(a.is_square());
+  const std::size_t n = a.rows();
+  std::vector<typename F::Element> s(n, f.zero());
+  auto pw = a;
+  for (std::size_t k = 1; k <= n; ++k) {
+    if (k > 1) pw = matrix::mat_mul(f, pw, a, strategy);
+    auto tr = f.zero();
+    for (std::size_t i = 0; i < n; ++i) tr = f.add(tr, pw.at(i, i));
+    s[k - 1] = tr;
+  }
+  return seq::charpoly_from_power_sums(f, s);
+}
+
+/// Faddeev-LeVerrier recursion; also exposes the adjoint-based inverse.
+/// Requires char(K) = 0 or > n.
+template <kp::field::Field F>
+struct FaddeevResult {
+  std::vector<typename F::Element> charpoly;  ///< monic, little-endian
+  matrix::Matrix<F> adjoint_like;  ///< N_{n-1}; A^{-1} = N_{n-1} / c_n
+  typename F::Element c_n{};       ///< det-scale: det(A) = +- c_n
+};
+
+template <kp::field::Field F>
+FaddeevResult<F> faddeev_leverrier(const F& f, const matrix::Matrix<F>& a) {
+  assert(a.is_square());
+  const std::size_t n = a.rows();
+  // N_0 = I; M_k = A N_{k-1}; c_k = tr(M_k)/k; N_k = M_k - c_k I.
+  auto nk = matrix::identity_matrix(f, n);
+  std::vector<typename F::Element> c(n + 1, f.zero());
+  matrix::Matrix<F> n_prev = nk;
+  for (std::size_t k = 1; k <= n; ++k) {
+    n_prev = nk;
+    auto m = matrix::mat_mul(f, a, nk);
+    auto tr = f.zero();
+    for (std::size_t i = 0; i < n; ++i) tr = f.add(tr, m.at(i, i));
+    c[k] = f.div(tr, f.from_int(static_cast<std::int64_t>(k)));
+    nk = m;
+    for (std::size_t i = 0; i < n; ++i) nk.at(i, i) = f.sub(nk.at(i, i), c[k]);
+  }
+  // charpoly = x^n - c_1 x^{n-1} - ... - c_n.
+  std::vector<typename F::Element> p(n + 1, f.zero());
+  p[n] = f.one();
+  for (std::size_t k = 1; k <= n; ++k) p[n - k] = f.neg(c[k]);
+  return {std::move(p), std::move(n_prev), c[n]};
+}
+
+/// Berkowitz's division-free algorithm (clow sequences / Samuelson).
+/// Works over any commutative ring; O(n^4) ring operations.
+template <kp::field::CommutativeRing R>
+std::vector<typename R::Element> charpoly_berkowitz(const R& r,
+                                                    const matrix::Matrix<R>& a) {
+  assert(a.is_square());
+  using E = typename R::Element;
+  const std::size_t n = a.rows();
+  // q holds the charpoly of the leading principal r x r submatrix,
+  // big-endian (leading coefficient first).
+  std::vector<E> q{r.one(), r.neg(a.at(0, 0))};
+  for (std::size_t m = 1; m < n; ++m) {
+    // Row R = A[m][0..m-1], column C = A[0..m-1][m], corner a = A[m][m].
+    // Transfer column t = (1, -a, -R C, -R A_m C, -R A_m^2 C, ...),
+    // length m+2; q_{m+1}[i] = sum_j t[i-j] q_m[j]  (lower-tri Toeplitz).
+    std::vector<E> t(m + 2, r.zero());
+    t[0] = r.one();
+    t[1] = r.neg(a.at(m, m));
+    std::vector<E> w(m);  // w = A_m^k C
+    for (std::size_t i = 0; i < m; ++i) w[i] = a.at(i, m);
+    for (std::size_t k = 0; k + 2 < t.size(); ++k) {
+      if (k > 0) {
+        // w <- A_m w
+        std::vector<E> nw(m, r.zero());
+        for (std::size_t i = 0; i < m; ++i) {
+          auto acc = r.zero();
+          for (std::size_t j = 0; j < m; ++j) {
+            acc = r.add(acc, r.mul(a.at(i, j), w[j]));
+          }
+          nw[i] = std::move(acc);
+        }
+        w = std::move(nw);
+      }
+      auto rc = r.zero();
+      for (std::size_t j = 0; j < m; ++j) {
+        rc = r.add(rc, r.mul(a.at(m, j), w[j]));
+      }
+      t[k + 2] = r.neg(rc);
+    }
+    std::vector<E> next(m + 2, r.zero());
+    for (std::size_t i = 0; i < next.size(); ++i) {
+      auto acc = r.zero();
+      for (std::size_t j = 0; j < q.size() && j <= i; ++j) {
+        if (i - j < t.size()) acc = r.add(acc, r.mul(t[i - j], q[j]));
+      }
+      next[i] = std::move(acc);
+    }
+    q = std::move(next);
+  }
+  // Convert big-endian q to little-endian monic charpoly.
+  return std::vector<E>(q.rbegin(), q.rend());
+}
+
+/// Chistov's method: works over any field.  Uses
+///   det(I - lambda A) = prod_{i=1..n} 1 / r_i,
+///   r_i = ((I_i - lambda A_i)^{-1})_{i,i} mod lambda^{n+1},
+/// with r_i read off the Neumann series sum_k lambda^k (A_i^k)_{i,i};
+/// the only divisions are power-series inversions of units.
+template <kp::field::Field F>
+std::vector<typename F::Element> charpoly_chistov(const F& f,
+                                                  const matrix::Matrix<F>& a) {
+  assert(a.is_square());
+  const std::size_t n = a.rows();
+  const std::size_t prec = n + 1;
+  kp::poly::PolyRing<F> ring(f);
+
+  // prod_r = prod r_i mod lambda^prec.
+  auto prod_r = ring.one();
+  for (std::size_t i = 1; i <= n; ++i) {
+    // w_k = A_i^k e_i; r_i[k] = (w_k)_i.
+    std::vector<typename F::Element> w(i, f.zero());
+    w[i - 1] = f.one();
+    typename kp::poly::PolyRing<F>::Element ri(prec, f.zero());
+    ri[0] = f.one();
+    for (std::size_t k = 1; k < prec; ++k) {
+      std::vector<typename F::Element> nw(i, f.zero());
+      for (std::size_t row = 0; row < i; ++row) {
+        auto acc = f.zero();
+        for (std::size_t col = 0; col < i; ++col) {
+          acc = f.add(acc, f.mul(a.at(row, col), w[col]));
+        }
+        nw[row] = std::move(acc);
+      }
+      w = std::move(nw);
+      ri[k] = w[i - 1];
+    }
+    ring.strip(ri);
+    prod_r = ring.truncate(ring.mul(prod_r, ri), prec);
+  }
+
+  // det(I - lambda A) = 1 / prod_r; charpoly = reverse to length n+1.
+  auto q = kp::poly::series_inverse(ring, prod_r, prec);
+  std::vector<typename F::Element> p(n + 1, f.zero());
+  for (std::size_t k = 0; k <= n && k < q.size(); ++k) p[n - k] = q[k];
+  return p;
+}
+
+}  // namespace kp::core

@@ -1,0 +1,105 @@
+// Solving over small fields through an algebraic extension (section 2).
+//
+// The failure bound 3n^2/card(S) is useless when the field itself is
+// smaller than 3n^2: "For Galois fields K with card(K) < 3n^2, the
+// algorithm is performed in an algebraic extension L over K, so that the
+// failure probability can be bounded away from 0."
+//
+// This adapter lifts the system entry-wise into GF(p^k) (the prime subfield
+// embeds as the constant polynomials), runs the Theorem-4 pipeline there
+// with the full extension as the sample set, and projects the solution
+// back.  The solution of a non-singular system is unique, so its lifted
+// coordinates are guaranteed to be constants.
+#pragma once
+
+#include <cmath>
+#include <optional>
+#include <vector>
+
+#include "core/solver.h"
+#include "field/gfpk.h"
+#include "field/zp.h"
+#include "matrix/dense.h"
+
+namespace kp::core {
+
+/// Smallest extension degree k with p^k >= target (capped so p^k fits a
+/// 64-bit word).
+inline unsigned lift_degree(std::uint64_t p, std::uint64_t target) {
+  unsigned k = 1;
+  unsigned __int128 card = p;
+  while (card < target && k < 63) {
+    card *= p;
+    ++k;
+  }
+  return k;
+}
+
+/// Result of a lifted solve.
+template <class F>
+struct LiftedSolveResult {
+  bool ok = false;
+  std::vector<typename F::Element> x;
+  typename F::Element det{};
+  unsigned extension_degree = 0;  ///< the k of the GF(p^k) the run used
+};
+
+/// Solves A x = b over GF(p) with small p by running the Theorem-4 pipeline
+/// in GF(p^k), k chosen so that p^k >= failure_margin * 3 n^2.  Las Vegas:
+/// the projected solution is verified over the base field.
+/// Precondition on the CHARACTERISTIC still applies (p > n): the lift buys
+/// randomness, not divisibility -- use the Chistov route for p <= n.
+inline LiftedSolveResult<kp::field::GFp> kp_solve_small_field(
+    const kp::field::GFp& f, const matrix::Matrix<kp::field::GFp>& a,
+    const std::vector<kp::field::GFp::Element>& b, kp::util::Prng& prng,
+    std::uint64_t failure_margin = 64) {
+  const std::size_t n = a.rows();
+  const std::uint64_t p = f.modulus();
+  LiftedSolveResult<kp::field::GFp> out;
+
+  // Target sample-set size 3 n^2 * margin, as estimate (2) requires.
+  const unsigned k = lift_degree(p, 3 * n * n * failure_margin);
+  out.extension_degree = k;
+  kp::field::GFpk lift(p, k);
+
+  // Entry-wise embedding: base-field scalars are the constant polynomials.
+  matrix::Matrix<kp::field::GFpk> al(n, n, lift.zero());
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      al.at(i, j) = lift.from_int(static_cast<std::int64_t>(a.at(i, j)));
+    }
+  }
+  std::vector<kp::field::GFpk::Element> bl(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    bl[i] = lift.from_int(static_cast<std::int64_t>(b[i]));
+  }
+
+  SolverOptions opt;
+  opt.sample_size = ~std::uint64_t{0};  // the whole extension is the sample set
+  // Leverrier divides by 2..n: the CHARACTERISTIC is still p, so the
+  // lifted pipeline needs p > n just like the base one would; the lift
+  // buys randomness, not divisibility (use the Chistov route otherwise).
+  if (!kp::field::supports_leverrier(lift, n)) return out;
+  auto res = kp_solve(lift, al, bl, prng, opt);
+  if (!res.ok) return out;
+
+  // Project back: every coordinate must be a constant polynomial.
+  out.x.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 1; c < k; ++c) {
+      if (res.x[i][c] != 0) return out;  // cannot happen for consistent runs
+    }
+    out.x[i] = res.x[i][0];
+  }
+  for (std::size_t c = 1; c < k; ++c) {
+    if (res.det[c] != 0) return out;
+  }
+  out.det = res.det[0];
+
+  // Las Vegas verification over the base field.
+  if (matrix::mat_vec(f, a, out.x) != b) return out;
+  out.ok = true;
+  return out;
+}
+
+}  // namespace kp::core

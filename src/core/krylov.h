@@ -1,0 +1,91 @@
+// The Krylov doubling step -- equation (9) of the paper.
+//
+//   A^{2^i} (v  Av  ...  A^{2^i - 1} v) = (A^{2^i} v  ...  A^{2^{i+1}-1} v)
+//
+// Repeated squaring of A interleaved with block products produces the whole
+// Krylov block (v, Av, ..., A^{count-1} v) in O(log count) matrix products,
+// i.e. O(n^omega log n) work and O(log^2 n) depth -- this is where the
+// pipeline earns its processor efficiency over the naive 2n sequential
+// matrix-vector products (which matrix/blackbox.h provides as the
+// sequential baseline, ablated in bench_ablation).
+#pragma once
+
+#include <cassert>
+#include <vector>
+
+#include "matrix/dense.h"
+#include "matrix/matmul.h"
+
+namespace kp::core {
+
+/// Returns the n x count Krylov block K with K(:, i) = A^i v, built by
+/// doubling.
+template <kp::field::Field F>
+matrix::Matrix<F> krylov_block(const F& f, const matrix::Matrix<F>& a,
+                               const std::vector<typename F::Element>& v,
+                               std::size_t count,
+                               matrix::MatMulStrategy strategy =
+                                   matrix::MatMulStrategy::kClassical) {
+  assert(a.is_square() && a.rows() == v.size());
+  const std::size_t n = a.rows();
+  matrix::Matrix<F> block(n, 1, f.zero());
+  for (std::size_t i = 0; i < n; ++i) block.at(i, 0) = v[i];
+  if (count <= 1) return block;
+
+  matrix::Matrix<F> pw = a;  // A^{2^j}
+  while (block.cols() < count) {
+    // [block | A^{2^j} * block]
+    const auto ext = matrix::mat_mul(f, pw, block, strategy);
+    matrix::Matrix<F> merged(n, 2 * block.cols(), f.zero());
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < block.cols(); ++j) {
+        merged.at(i, j) = block.at(i, j);
+        merged.at(i, block.cols() + j) = ext.at(i, j);
+      }
+    }
+    block = std::move(merged);
+    if (block.cols() < count) pw = matrix::mat_mul(f, pw, pw, strategy);
+  }
+  if (block.cols() > count) {
+    matrix::Matrix<F> trimmed(n, count, f.zero());
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < count; ++j) trimmed.at(i, j) = block.at(i, j);
+    }
+    block = std::move(trimmed);
+  }
+  return block;
+}
+
+/// The projected sequence a_i = u A^i v, i < count, via one doubling block
+/// and a single vector-matrix product.
+template <kp::field::Field F>
+std::vector<typename F::Element> krylov_sequence_doubling(
+    const F& f, const matrix::Matrix<F>& a,
+    const std::vector<typename F::Element>& u,
+    const std::vector<typename F::Element>& v, std::size_t count,
+    matrix::MatMulStrategy strategy = matrix::MatMulStrategy::kClassical) {
+  const auto block = krylov_block(f, a, v, count, strategy);
+  return matrix::vec_mat(f, u, block);
+}
+
+/// K * c for a Krylov block K: evaluates (sum_i c_i A^i) v from the block
+/// columns -- the Cayley-Hamilton finish of the Theorem-4 solver.
+template <kp::field::Field F>
+std::vector<typename F::Element> krylov_combine(
+    const F& f, const matrix::Matrix<F>& block,
+    const std::vector<typename F::Element>& coeffs) {
+  assert(coeffs.size() <= block.cols());
+  std::vector<typename F::Element> out(block.rows(), f.zero());
+  std::vector<typename F::Element> terms;
+  terms.reserve(coeffs.size());
+  for (std::size_t i = 0; i < block.rows(); ++i) {
+    terms.clear();
+    for (std::size_t j = 0; j < coeffs.size(); ++j) {
+      terms.push_back(f.mul(block.at(i, j), coeffs[j]));
+    }
+    out[i] = matrix::balanced_sum(f, terms);
+  }
+  return out;
+}
+
+}  // namespace kp::core

@@ -1,0 +1,168 @@
+// Polynomial GCD and resultants through structured linear algebra -- the
+// section-5 Sylvester extension.
+//
+//   * resultant(f, g) = det(Sylvester(f, g)): computed with the randomized
+//     determinant pipeline (or elimination as baseline).
+//   * deg gcd(f, g) = df + dg - rank(Sylvester(f, g)).
+//   * gcd itself from ONE linear solve: with d = deg gcd, the square system
+//       coeff_{x^j}(u f + v g) = [j == d]   for j = d .. df+dg-d-1,
+//     in the unknown cofactors (deg u < dg-d, deg v < df-d) has the unique
+//     solution with u f + v g = monic gcd (write f = h f1, g = h g1 with
+//     gcd(f1, g1) = 1 and apply Bezout to f1, g1).
+//
+// These routines are cross-checked against the Euclidean algorithm
+// (poly/poly_ring.h gcd) in the tests and ablated in bench_sylvester.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <vector>
+
+#include "core/extensions.h"
+#include "core/solver.h"
+#include "matrix/gauss.h"
+#include "matrix/sylvester.h"
+#include "poly/poly.h"
+#include "util/prng.h"
+
+namespace kp::core {
+
+/// Resultant via the determinant of the Sylvester matrix.
+template <kp::field::Field F>
+typename F::Element resultant_gauss(const F& f,
+                                    const matrix::Sylvester<F>& s) {
+  return matrix::det_gauss(f, s.to_dense(f));
+}
+
+/// Resultant through the Theorem-4 randomized determinant; falls back to
+/// elimination when the pipeline reports failure (e.g. Res = 0).
+template <kp::field::Field F>
+typename F::Element resultant_randomized(const F& f,
+                                         const matrix::Sylvester<F>& s,
+                                         kp::util::Prng& prng,
+                                         SolverOptions opt = {}) {
+  const auto dense = s.to_dense(f);
+  auto res = kp_det(f, dense, prng, opt);
+  if (res.ok) return res.det;
+  return matrix::det_gauss(f, dense);
+}
+
+/// deg gcd(f, g) = dim - rank(Sylvester); Monte Carlo rank.
+template <kp::field::Field F>
+std::size_t gcd_degree_randomized(const F& f, const matrix::Sylvester<F>& s,
+                                  kp::util::Prng& prng,
+                                  std::uint64_t sample = 1ULL << 30) {
+  return s.dim() - rank_randomized(f, s.to_dense(f), prng, sample);
+}
+
+/// gcd plus the Bezout-style cofactors -- the paper's "coefficients of the
+/// polynomials in the Euclidean scheme": h = u f + v g with h the monic gcd,
+/// deg u < dg - d, deg v < df - d.
+template <kp::field::Field F>
+struct GcdResult {
+  typename kp::poly::PolyRing<F>::Element h;  ///< monic gcd
+  typename kp::poly::PolyRing<F>::Element u;  ///< cofactor of f
+  typename kp::poly::PolyRing<F>::Element v;  ///< cofactor of g
+};
+
+/// Monic gcd (with cofactors) by the one-solve construction above, given the
+/// gcd degree.  Returns nullopt if the degree guess was wrong (Las Vegas:
+/// the caller's degree comes from a Monte Carlo rank, so the result is
+/// verified here by trial division and nullopt is returned on any
+/// inconsistency).
+template <kp::field::Field F>
+std::optional<GcdResult<F>> gcd_with_cofactors_from_degree(
+    const kp::poly::PolyRing<F>& ring,
+    const typename kp::poly::PolyRing<F>::Element& f,
+    const typename kp::poly::PolyRing<F>::Element& g, std::size_t d) {
+  const F& fld = ring.base();
+  const std::size_t df = f.size() - 1, dg = g.size() - 1;
+  if (d > std::min(df, dg)) return std::nullopt;
+  if (d == std::min(df, dg)) {
+    // One divides the other (up to scalar): verify and return with the
+    // trivial cofactor pair (h = c * small, so u or v is the constant 1/lc).
+    const bool f_small = df <= dg;
+    const auto& small = f_small ? f : g;
+    const auto& large = f_small ? g : f;
+    if (!ring.is_zero(ring.divmod(large, small).second)) return std::nullopt;
+    GcdResult<F> out;
+    out.h = ring.monic(small);
+    typename kp::poly::PolyRing<F>::Element scale{fld.inv(ring.lead(small))};
+    out.u = f_small ? scale : ring.zero();
+    out.v = f_small ? ring.zero() : scale;
+    return out;
+  }
+
+  // Unknowns: u (deg < dg - d), v (deg < df - d), little-endian, stacked.
+  const std::size_t nu = dg - d, nv = df - d;
+  const std::size_t n = nu + nv;
+  // Equations: coeff_{x^{d+r}}(u f + v g) = [r == 0], r = 0 .. n-1.
+  matrix::Matrix<F> m(n, n, fld.zero());
+  for (std::size_t r = 0; r < n; ++r) {
+    const std::size_t target = d + r;
+    for (std::size_t i = 0; i < nu; ++i) {
+      // u_i contributes f_{target - i}.
+      if (target >= i && target - i < f.size()) m.at(r, i) = f[target - i];
+    }
+    for (std::size_t j = 0; j < nv; ++j) {
+      if (target >= j && target - j < g.size()) m.at(r, nu + j) = g[target - j];
+    }
+  }
+  std::vector<typename F::Element> rhs(n, fld.zero());
+  rhs[0] = fld.one();
+
+  auto sol = matrix::solve_gauss(fld, m, rhs);
+  if (!sol) return std::nullopt;
+
+  typename kp::poly::PolyRing<F>::Element u(sol->begin(),
+                                            sol->begin() + static_cast<std::ptrdiff_t>(nu));
+  typename kp::poly::PolyRing<F>::Element v(sol->begin() + static_cast<std::ptrdiff_t>(nu),
+                                            sol->end());
+  ring.strip(u);
+  ring.strip(v);
+  auto h = ring.add(ring.mul(u, f), ring.mul(v, g));
+  // h must be monic of degree exactly d and divide both inputs.
+  if (kp::poly::PolyRing<F>::degree(h) != static_cast<std::int64_t>(d)) {
+    return std::nullopt;
+  }
+  if (!fld.eq(ring.lead(h), fld.one())) return std::nullopt;
+  if (!ring.is_zero(ring.divmod(f, h).second)) return std::nullopt;
+  if (!ring.is_zero(ring.divmod(g, h).second)) return std::nullopt;
+  return GcdResult<F>{std::move(h), std::move(u), std::move(v)};
+}
+
+/// Back-compat convenience: just the monic gcd from a degree guess.
+template <kp::field::Field F>
+std::optional<typename kp::poly::PolyRing<F>::Element> gcd_from_degree(
+    const kp::poly::PolyRing<F>& ring,
+    const typename kp::poly::PolyRing<F>::Element& f,
+    const typename kp::poly::PolyRing<F>::Element& g, std::size_t d) {
+  auto res = gcd_with_cofactors_from_degree(ring, f, g, d);
+  if (!res) return std::nullopt;
+  return std::move(res->h);
+}
+
+/// Monic gcd via linear algebra end-to-end: randomized degree (rank of the
+/// Sylvester matrix), then the one-solve recovery; verified, with degree
+/// re-tries around the Monte Carlo estimate.  Requires non-zero inputs.
+template <kp::field::Field F>
+typename kp::poly::PolyRing<F>::Element gcd_via_linear_algebra(
+    const kp::poly::PolyRing<F>& ring,
+    const typename kp::poly::PolyRing<F>::Element& f,
+    const typename kp::poly::PolyRing<F>::Element& g, kp::util::Prng& prng,
+    std::uint64_t sample = 1ULL << 30) {
+  assert(!ring.is_zero(f) && !ring.is_zero(g));
+  if (f.size() == 1 || g.size() == 1) return ring.one();  // non-zero constants
+  matrix::Sylvester<F> s(ring, f, g);
+  const std::size_t d0 = gcd_degree_randomized(ring.base(), s, prng, sample);
+  // The Monte Carlo rank can only UNDER-estimate the rank (over-estimate d):
+  // walk the degree downward until the verified recovery succeeds.
+  for (std::size_t d = d0;; --d) {
+    if (auto h = gcd_from_degree(ring, f, g, d)) return *h;
+    if (d == 0) break;
+  }
+  // Unreachable for valid inputs: d = 0 always yields gcd 1 when coprime.
+  return ring.gcd(f, g);
+}
+
+}  // namespace kp::core

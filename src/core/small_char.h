@@ -1,0 +1,70 @@
+// Section-5 small-characteristic characteristic polynomial of a Toeplitz
+// matrix -- the complexity-(12) result.
+//
+// Leverrier's step divides by 2..n, so Theorems 3/4/6 require char(K) = 0 or
+// > n.  The paper's remedy "is to appeal to Chistov's (1985) method ... in
+// conjunction with computing for all i <= n by the algorithm of section 3
+// the entry ((I_i - lambda T_i)^{-1})_{i,i} mod lambda^{n+1}".
+// A factor n more work (O(n^3 polylog)), but valid over ANY field --
+// including GF(2^k), which the tests and bench_small_char exercise.
+#pragma once
+
+#include <vector>
+
+#include "field/concepts.h"
+#include "matrix/structured.h"
+#include "poly/poly.h"
+#include "seq/newton_toeplitz.h"
+
+namespace kp::core {
+
+/// Leading principal i x i submatrix of a Toeplitz matrix (also Toeplitz).
+template <kp::field::Field F>
+matrix::Toeplitz<F> leading_toeplitz(const matrix::Toeplitz<F>& t, std::size_t i) {
+  const std::size_t n = t.dim();
+  assert(i >= 1 && i <= n);
+  // Diagonal band a[n-i .. n+i-2] of the parent's diagonal vector.
+  std::vector<typename F::Element> d(
+      t.diagonals().begin() + static_cast<std::ptrdiff_t>(n - i),
+      t.diagonals().begin() + static_cast<std::ptrdiff_t>(n + i - 1));
+  return matrix::Toeplitz<F>(i, std::move(d));
+}
+
+/// Characteristic polynomial of a Toeplitz matrix over a field of ANY
+/// characteristic (monic, little-endian, length n+1), by Chistov's telescoped
+/// product evaluated with the section-3 Newton iteration per leading block:
+///
+///   det(I - lambda T) = prod_{i=1..n} 1 / r_i,
+///   r_i = ((I_i - lambda T_i)^{-1})_{i,i} mod lambda^{n+1}.
+template <kp::field::Field F>
+std::vector<typename F::Element> toeplitz_charpoly_any_char(
+    const F& f, const matrix::Toeplitz<F>& t) {
+  const std::size_t n = t.dim();
+  const std::size_t prec = n + 1;
+  kp::poly::PolyRing<F> ring(f);
+
+  auto prod_r = ring.one();
+  for (std::size_t i = 1; i <= n; ++i) {
+    const auto ti = leading_toeplitz(t, i);
+    auto inv = seq::toeplitz_series_inverse(f, ti, prec);
+    // ((I_i - lambda T_i)^{-1})_{i,i} is the last entry of the last column.
+    auto ri = inv.last_col[i - 1];
+    ring.strip(ri);
+    prod_r = ring.truncate(ring.mul(prod_r, ri), prec);
+  }
+
+  auto q = kp::poly::series_inverse(ring, prod_r, prec);
+  std::vector<typename F::Element> p(n + 1, f.zero());
+  for (std::size_t k = 0; k <= n && k < q.size(); ++k) p[n - k] = q[k];
+  return p;
+}
+
+/// Determinant over any characteristic: det(T) = (-1)^n p(0).
+template <kp::field::Field F>
+typename F::Element toeplitz_det_any_char(const F& f,
+                                          const matrix::Toeplitz<F>& t) {
+  const auto p = toeplitz_charpoly_any_char(f, t);
+  return (t.dim() % 2 == 0) ? p[0] : f.neg(p[0]);
+}
+
+}  // namespace kp::core

@@ -1,0 +1,165 @@
+// The Theorem-4 solver and determinant: the paper's main result.
+//
+// Pipeline (section 3, "From Theorem 3 we can obtain ... size-efficient
+// randomized circuits for solving general non-singular systems"):
+//
+//   1. Draw the random Hankel H, diagonal D, row vector u, column vector v
+//      with entries from S; form A-tilde = A H D.               [Theorem 2]
+//   2. a_i = u A-tilde^i v for i < 2n via Krylov doubling (9).  [O(n^w log n)]
+//   3. T = Toeplitz(a_0..a_{2n-2}) (Lemma 1); find charpoly(T)  [Theorem 3]
+//      and solve T c = (a_n..a_{2n-1}) by Cayley-Hamilton on T.
+//   4. c is w.h.p. the characteristic polynomial of A-tilde     [est. (2)];
+//      Cayley-Hamilton on A-tilde (through the Krylov block of b) gives
+//      x-tilde = A-tilde^{-1} b, and x = H D x-tilde.
+//   5. det(A) = (-1)^n g(0) / (det(H) det(D)), det(H) via the row-mirror
+//      Toeplitz and Theorem 3.
+//
+// Failure (a would-be division by zero in the circuit model) is detected
+// and reported; on non-singular inputs its probability is <= 3n^2/|S| per
+// attempt.  The returned solution is verified (Las Vegas) when
+// options.verify is set.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/annihilator.h"
+#include "core/krylov.h"
+#include "core/preconditioners.h"
+#include "field/concepts.h"
+#include "matrix/dense.h"
+#include "matrix/matmul.h"
+#include "seq/newton_toeplitz.h"
+#include "util/prng.h"
+
+namespace kp::core {
+
+/// Tuning knobs for the Theorem-4 pipeline.
+struct SolverOptions {
+  std::uint64_t sample_size = 1ULL << 30;  ///< card(S); bound is 3n^2/|S|
+  int max_attempts = 3;                    ///< Las Vegas retries
+  bool verify = true;                      ///< check A x = b before returning
+  matrix::MatMulStrategy matmul = matrix::MatMulStrategy::kClassical;
+  seq::NewtonIdentityMethod newton = seq::NewtonIdentityMethod::kTriangularSolve;
+  /// Replace the two O(n)-deep sequential finishes (the Toeplitz
+  /// Cayley-Hamilton iteration and the triangular Newton-identity solve)
+  /// with their doubling / power-series counterparts, so that the realized
+  /// CIRCUIT has poly-logarithmic depth as Theorem 4 states.  Costs a
+  /// little more work; the default optimizes sequential work instead.
+  bool depth_optimal = false;
+};
+
+/// Outcome of one pipeline run.
+template <kp::field::Field F>
+struct SolveResult {
+  bool ok = false;                          ///< false: singular or unlucky
+  std::vector<typename F::Element> x;       ///< solution of A x = b
+  typename F::Element det{};                ///< det(A) (always computed)
+  std::vector<typename F::Element> charpoly_at;  ///< charpoly of A-tilde
+  int attempts = 0;
+};
+
+namespace detail {
+
+/// One attempt of the pipeline; returns the generator of the projected
+/// sequence (monic, degree n, g(0) != 0) or empty on failure.
+template <kp::field::Field F>
+std::vector<typename F::Element> generator_of_preconditioned(
+    const F& f, const matrix::Matrix<F>& at, kp::util::Prng& prng,
+    const SolverOptions& opt, const kp::poly::PolyRing<F>& ring) {
+  const std::size_t n = at.rows();
+  std::vector<typename F::Element> u(n), v(n);
+  for (auto& e : u) e = f.sample(prng, opt.sample_size);
+  for (auto& e : v) e = f.sample(prng, opt.sample_size);
+
+  // a_i = u A-tilde^i v by doubling (9).
+  const auto seq = krylov_sequence_doubling(f, at, u, v, 2 * n, opt.matmul);
+
+  // Lemma 1: T = T_n of the sequence; solve T y = (a_n .. a_{2n-1}) through
+  // the Theorem-3 characteristic polynomial of T.
+  auto t = matrix::Toeplitz<F>::from_sequence(n, seq);
+  std::vector<typename F::Element> rhs(seq.begin() + static_cast<std::ptrdiff_t>(n),
+                                       seq.end());
+  std::vector<typename F::Element> y;
+  if (opt.depth_optimal) {
+    // Same Cayley-Hamilton solve, but through a doubling Krylov block on
+    // the dense T, as the paper does ("Again from (9) we deduce ..."):
+    // depth O(log^2 n) instead of the O(n)-deep iterated Toeplitz applies.
+    const auto p = seq::toeplitz_charpoly(f, t, opt.newton);
+    if (f.is_zero(p[0])) return {};
+    const auto q = solution_combination(f, p);
+    const auto block = krylov_block(f, t.to_dense(f), rhs, n, opt.matmul);
+    y = krylov_combine(f, block, q);
+  } else {
+    y = seq::toeplitz_solve_charpoly(f, t, rhs, ring, opt.newton);
+  }
+  if (y.empty()) return {};  // T singular: deg(f_u) < n, unlucky projection
+
+  // y = (c_{n-1}, ..., c_0); generator g = x^n - c_{n-1} x^{n-1} - ... - c_0.
+  std::vector<typename F::Element> g(n + 1, f.zero());
+  g[n] = f.one();
+  for (std::size_t i = 0; i < n; ++i) g[n - 1 - i] = f.neg(y[i]);
+  if (f.eq(g[0], f.zero())) return {};  // f(0) = 0: report failure
+  return g;
+}
+
+}  // namespace detail
+
+/// Solves A x = b (and computes det A) with the Theorem-4 pipeline.
+template <kp::field::Field F>
+SolveResult<F> kp_solve(const F& f, const matrix::Matrix<F>& a,
+                        const std::vector<typename F::Element>& b,
+                        kp::util::Prng& prng, SolverOptions opt = {}) {
+  const std::size_t n = a.rows();
+  SolveResult<F> res;
+  kp::poly::PolyRing<F> ring(f);
+
+  for (res.attempts = 1; res.attempts <= opt.max_attempts; ++res.attempts) {
+    const auto pre = Preconditioner<F>::draw(f, n, prng, opt.sample_size);
+    const auto at = pre.apply_dense(f, ring, a);
+
+    auto g = detail::generator_of_preconditioned(f, at, prng, opt, ring);
+    if (g.empty()) continue;
+
+    // Cayley-Hamilton solve of A-tilde x-tilde = b through the Krylov block.
+    const auto q = solution_combination(f, g);
+    const auto block = krylov_block(f, at, b, n, opt.matmul);
+    auto xt = krylov_combine(f, block, q);
+    auto x = pre.unprecondition(f, ring, xt);
+
+    if (opt.verify && matrix::mat_vec(f, a, x) != b) continue;
+
+    // det(A-tilde) = (-1)^n g(0); divide out the preconditioner.
+    auto det_at = (n % 2 == 0) ? g[0] : f.neg(g[0]);
+    res.det = f.div(det_at, pre.det(f, opt.newton));
+    res.x = std::move(x);
+    res.charpoly_at = std::move(g);
+    res.ok = true;
+    return res;
+  }
+  return res;
+}
+
+/// Determinant only (same pipeline, no right-hand side).
+template <kp::field::Field F>
+SolveResult<F> kp_det(const F& f, const matrix::Matrix<F>& a,
+                      kp::util::Prng& prng, SolverOptions opt = {}) {
+  const std::size_t n = a.rows();
+  SolveResult<F> res;
+  kp::poly::PolyRing<F> ring(f);
+  for (res.attempts = 1; res.attempts <= opt.max_attempts; ++res.attempts) {
+    const auto pre = Preconditioner<F>::draw(f, n, prng, opt.sample_size);
+    const auto at = pre.apply_dense(f, ring, a);
+    auto g = detail::generator_of_preconditioned(f, at, prng, opt, ring);
+    if (g.empty()) continue;
+    auto det_at = (n % 2 == 0) ? g[0] : f.neg(g[0]);
+    res.det = f.div(det_at, pre.det(f, opt.newton));
+    res.charpoly_at = std::move(g);
+    res.ok = true;
+    return res;
+  }
+  return res;
+}
+
+}  // namespace kp::core

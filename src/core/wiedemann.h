@@ -1,0 +1,110 @@
+// Wiedemann's black-box algorithms (section 2 of the paper).
+//
+// All of them share one step: project the Krylov sequence of the operator
+// through random vectors u, b drawn from the sample set S, and read off its
+// minimum polynomial f_u^{A,b} with Berlekamp-Massey.  Lemma 2 bounds the
+// probability that the projection loses information by 2 deg(f^A) / |S|.
+//
+//   * wiedemann_minpoly       -- minimum polynomial of the projected sequence
+//   * wiedemann_singular_test -- Las Vegas "det(A) = 0" certificate
+//   * wiedemann_solve         -- non-singular solve, Las Vegas (verifies Ax=b)
+//   * wiedemann_det           -- determinant via the Theorem-2 preconditioner
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/annihilator.h"
+#include "core/preconditioners.h"
+#include "field/concepts.h"
+#include "matrix/blackbox.h"
+#include "seq/berlekamp_massey.h"
+#include "util/prng.h"
+
+namespace kp::core {
+
+/// Minimum polynomial of {u A^i b} for random u, b sampled from S; equals
+/// the minimum polynomial of A with probability >= 1 - 2 deg(f^A)/|S|.
+template <kp::field::Field F, matrix::LinOp B>
+std::vector<typename F::Element> wiedemann_minpoly(const F& f, const B& box,
+                                                   kp::util::Prng& prng,
+                                                   std::uint64_t s) {
+  const std::size_t n = box.dim();
+  std::vector<typename F::Element> u(n), b(n);
+  for (auto& e : u) e = f.sample(prng, s);
+  for (auto& e : b) e = f.sample(prng, s);
+  const auto seq = matrix::krylov_sequence_iterative(f, box, u, b, 2 * n);
+  return seq::berlekamp_massey(f, seq);
+}
+
+/// One-sided Las Vegas singularity test: returns true ("singular") when
+/// lambda divides the projected minimum polynomial.  For non-singular A the
+/// answer is always false; for singular A it is true with probability
+/// >= 1 - 2n/|S|.
+template <kp::field::Field F, matrix::LinOp B>
+bool wiedemann_singular_test(const F& f, const B& box, kp::util::Prng& prng,
+                             std::uint64_t s) {
+  const auto mp = wiedemann_minpoly(f, box, prng, s);
+  return mp.size() >= 2 && f.eq(mp[0], f.zero());
+}
+
+/// Solves A x = b for non-singular A through the minimum polynomial of the
+/// sequence {A^i b}.  Las Vegas: the candidate is verified and retried with
+/// fresh randomness (up to max_attempts); nullopt means every attempt
+/// failed, which for non-singular A has probability <= (2n/|S|)^attempts.
+template <kp::field::Field F, matrix::LinOp B>
+std::optional<std::vector<typename F::Element>> wiedemann_solve(
+    const F& f, const B& box, const std::vector<typename F::Element>& b,
+    kp::util::Prng& prng, std::uint64_t s, int max_attempts = 3) {
+  const std::size_t n = box.dim();
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    // Project {A^i b} through a random u; the sequence's minimum polynomial
+    // f_u^{A,b} divides f^{A,b} and equals it w.h.p. (Theorem 1 / Lemma 2).
+    std::vector<typename F::Element> u(n);
+    for (auto& e : u) e = f.sample(prng, s);
+    const auto seq = matrix::krylov_sequence_iterative(f, box, u, b, 2 * n);
+    auto g = seq::berlekamp_massey(f, seq);
+    if (g.size() < 2 || f.eq(g[0], f.zero())) continue;  // unlucky projection
+    auto x = solve_from_annihilator(f, box, g, b);
+    if (box.apply(x) == b) return x;  // Las Vegas verification
+  }
+  return std::nullopt;
+}
+
+/// Result of the randomized determinant.
+template <kp::field::Field F>
+struct DetResult {
+  bool ok = false;                 ///< false: unlucky randomness (or singular)
+  typename F::Element value{};     ///< det(A) when ok
+};
+
+/// Determinant of a non-singular A by Wiedemann's method with the
+/// Saunders/Theorem-2 preconditioner: A-tilde = A H D, the projected minimum
+/// polynomial of A-tilde is its characteristic polynomial w.h.p., and
+/// det(A) = (-1)^n f(0)-style recovery divided by det(H) det(D).
+/// Failure probability <= 3n^2/|S| per attempt (estimate (2)).
+template <kp::field::Field F>
+DetResult<F> wiedemann_det(const F& f, const matrix::Matrix<F>& a,
+                           kp::util::Prng& prng, std::uint64_t s,
+                           int max_attempts = 3) {
+  const std::size_t n = a.rows();
+  kp::poly::PolyRing<F> ring(f);
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    const auto pre = Preconditioner<F>::draw(f, n, prng, s);
+    const auto at = pre.apply_dense(f, ring, a);
+    matrix::DenseBox<F> box(f, at);
+    const auto g = wiedemann_minpoly(f, box, prng, s);
+    // Failure: deg < n or g(0) = 0 (the paper's explicit failure report).
+    if (g.size() != n + 1 || f.eq(g[0], f.zero())) continue;
+    // g is the characteristic polynomial of A-tilde:
+    // det(A-tilde) = (-1)^n g(0).
+    auto det_at = (n % 2 == 0) ? g[0] : f.neg(g[0]);
+    const auto det_hd = pre.det(f);
+    if (f.eq(det_hd, f.zero())) continue;  // cannot happen when g(0) != 0
+    return {true, f.div(det_at, det_hd)};
+  }
+  return {};
+}
+
+}  // namespace kp::core

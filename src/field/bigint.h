@@ -1,0 +1,109 @@
+// Arbitrary-precision signed integers.
+//
+// The paper works over an *abstract* field; the canonical infinite field is
+// Q, which requires exact integer arithmetic of unbounded size (solution
+// entries of an n x n integer system have ~ n log n bits by Hadamard's
+// bound).  No external bignum library is available offline, so this is a
+// from-scratch implementation: sign-magnitude representation over 32-bit
+// limbs, schoolbook + Karatsuba multiplication, Knuth Algorithm D division.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace kp::field {
+
+/// Signed arbitrary-precision integer.  Value semantics; the magnitude is a
+/// little-endian vector of 32-bit limbs with no trailing zero limbs, and
+/// zero is represented by an empty limb vector with sign +1.
+class BigInt {
+ public:
+  BigInt() = default;
+  BigInt(std::int64_t v);  // NOLINT(google-explicit-constructor): numeric literal interop
+  /// Parses an optionally signed decimal string; asserts on bad input.
+  explicit BigInt(const std::string& decimal);
+
+  bool is_zero() const { return limbs_.empty(); }
+  bool is_negative() const { return negative_; }
+  /// -1, 0, or +1.
+  int signum() const { return is_zero() ? 0 : (negative_ ? -1 : 1); }
+
+  BigInt operator-() const;
+  BigInt abs() const;
+
+  BigInt operator+(const BigInt& o) const;
+  BigInt operator-(const BigInt& o) const;
+  BigInt operator*(const BigInt& o) const;
+  /// Truncated division (C semantics: quotient rounds toward zero).
+  BigInt operator/(const BigInt& o) const;
+  /// Remainder matching operator/ (same sign as the dividend).
+  BigInt operator%(const BigInt& o) const;
+
+  BigInt& operator+=(const BigInt& o) { return *this = *this + o; }
+  BigInt& operator-=(const BigInt& o) { return *this = *this - o; }
+  BigInt& operator*=(const BigInt& o) { return *this = *this * o; }
+  BigInt& operator/=(const BigInt& o) { return *this = *this / o; }
+  BigInt& operator%=(const BigInt& o) { return *this = *this % o; }
+
+  /// Computes quotient and remainder in one pass.
+  static void divmod(const BigInt& num, const BigInt& den, BigInt& quot,
+                     BigInt& rem);
+
+  bool operator==(const BigInt& o) const;
+  bool operator!=(const BigInt& o) const { return !(*this == o); }
+  bool operator<(const BigInt& o) const;
+  bool operator>(const BigInt& o) const { return o < *this; }
+  bool operator<=(const BigInt& o) const { return !(o < *this); }
+  bool operator>=(const BigInt& o) const { return !(*this < o); }
+
+  /// Greatest common divisor (always non-negative).
+  static BigInt gcd(BigInt a, BigInt b);
+  /// this^e for e >= 0.
+  BigInt pow(std::uint64_t e) const;
+  /// Arithmetic shift left/right by whole bits.
+  BigInt shl(std::size_t bits) const;
+  BigInt shr(std::size_t bits) const;
+
+  /// Number of bits in the magnitude (0 for zero).
+  std::size_t bit_length() const;
+  /// True when the value fits in int64_t.
+  bool fits_int64() const;
+  std::int64_t to_int64() const;
+  /// Approximate conversion (may lose precision / overflow to +-inf).
+  double to_double() const;
+
+  std::string to_string() const;
+
+  /// FNV-style hash of the canonical representation.
+  std::size_t hash() const;
+
+ private:
+  using Limb = std::uint32_t;
+  using Wide = std::uint64_t;
+  static constexpr int kLimbBits = 32;
+
+  static int cmp_mag(const std::vector<Limb>& a, const std::vector<Limb>& b);
+  static std::vector<Limb> add_mag(const std::vector<Limb>& a,
+                                   const std::vector<Limb>& b);
+  /// Requires |a| >= |b|.
+  static std::vector<Limb> sub_mag(const std::vector<Limb>& a,
+                                   const std::vector<Limb>& b);
+  static std::vector<Limb> mul_mag(const std::vector<Limb>& a,
+                                   const std::vector<Limb>& b);
+  static std::vector<Limb> mul_schoolbook(const std::vector<Limb>& a,
+                                          const std::vector<Limb>& b);
+  static std::vector<Limb> mul_karatsuba(const std::vector<Limb>& a,
+                                         const std::vector<Limb>& b);
+  static void divmod_mag(const std::vector<Limb>& num,
+                         const std::vector<Limb>& den, std::vector<Limb>& quot,
+                         std::vector<Limb>& rem);
+  static void trim(std::vector<Limb>& v);
+
+  void normalize();
+
+  std::vector<Limb> limbs_;
+  bool negative_ = false;
+};
+
+}  // namespace kp::field

@@ -1,0 +1,67 @@
+// Algebraic domain concepts.
+//
+// All algorithms in this library are generic over an *abstract field*, as in
+// the paper: an individual step is an addition, subtraction, multiplication,
+// division, or zero-test of field elements.  We follow the LinBox "domain
+// object" convention: a domain object F (which may carry runtime data such as
+// a modulus) operates on plain value-type elements F::Element.  This supports
+// runtime-modulus fields and extension fields without global state.
+//
+// Two concepts are used:
+//   * CommutativeRing  -- enough structure for polynomial arithmetic and
+//                         matrix multiplication (e.g. truncated power series).
+//   * Field            -- adds division/inversion and is what the paper's
+//                         algorithms require.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <string>
+
+#include "util/prng.h"
+
+namespace kp::field {
+
+template <class R>
+concept CommutativeRing = requires(const R r, const typename R::Element a,
+                                   const typename R::Element b, kp::util::Prng prng) {
+  typename R::Element;
+  { r.zero() } -> std::convertible_to<typename R::Element>;
+  { r.one() } -> std::convertible_to<typename R::Element>;
+  { r.add(a, b) } -> std::convertible_to<typename R::Element>;
+  { r.sub(a, b) } -> std::convertible_to<typename R::Element>;
+  { r.neg(a) } -> std::convertible_to<typename R::Element>;
+  { r.mul(a, b) } -> std::convertible_to<typename R::Element>;
+  { r.is_zero(a) } -> std::convertible_to<bool>;
+  { r.eq(a, b) } -> std::convertible_to<bool>;
+  { r.from_int(std::int64_t{}) } -> std::convertible_to<typename R::Element>;
+  { r.random(prng) } -> std::convertible_to<typename R::Element>;
+  { r.to_string(a) } -> std::convertible_to<std::string>;
+};
+
+template <class F>
+concept Field = CommutativeRing<F> &&
+    requires(const F f, const typename F::Element a, const typename F::Element b,
+             kp::util::Prng prng, std::uint64_t s) {
+      { f.inv(a) } -> std::convertible_to<typename F::Element>;
+      { f.div(a, b) } -> std::convertible_to<typename F::Element>;
+      /// Uniform sample from a canonical subset S of the field with
+      /// card(S) = min(s, cardinality).  This is the sample set of the
+      /// paper's probability bounds (Lemma 2, Theorem 2, estimate (2)).
+      { f.sample(prng, s) } -> std::convertible_to<typename F::Element>;
+      /// Characteristic of the field; the paper's main pipeline requires
+      /// 0 or > n because Leverrier divides by 2, 3, ..., n.
+      { f.characteristic() } -> std::convertible_to<std::uint64_t>;
+      /// Number of elements, or 0 for an infinite field.
+      { f.cardinality() } -> std::convertible_to<std::uint64_t>;
+    };
+
+/// True when the field can divide by every integer 1..n, i.e. characteristic
+/// zero or greater than n -- the precondition of Theorems 3, 4, and 6.
+template <Field F>
+bool supports_leverrier(const F& f, std::size_t n) {
+  const std::uint64_t p = f.characteristic();
+  return p == 0 || p > n;
+}
+
+}  // namespace kp::field

@@ -1,0 +1,367 @@
+// Extension fields GF(p^k).
+//
+// The paper needs algebraic extensions in two places: (a) when card(K) is too
+// small for the 3n^2/card(S) failure bound to be useful, the computation is
+// performed in an extension L over K (section 2); (b) the small-positive-
+// characteristic results of section 5 are naturally exercised over GF(2^k).
+//
+// Elements are coefficient vectors (length k, little-endian) over Z/pZ,
+// reduced modulo a monic irreducible polynomial found by random search
+// (Rabin's irreducibility test).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "field/concepts.h"
+#include "field/primes.h"
+#include "field/zp.h"
+#include "util/op_count.h"
+#include "util/prng.h"
+
+namespace kp::field {
+
+/// GF(p^k) with runtime p and k.
+class GFpk {
+ public:
+  /// Element: exactly k coefficients over Z/pZ, little-endian.
+  using Element = std::vector<std::uint64_t>;
+
+  /// Constructs GF(p^k), finding an irreducible modulus with the given seed.
+  GFpk(std::uint64_t p, unsigned k, std::uint64_t seed = 42)
+      : p_(p), k_(k) {
+    assert(is_prime_u64(p));
+    assert(k >= 1);
+    kp::util::Prng prng(seed ^ (p * 1000003 + k));
+    modulus_ = find_irreducible(prng);
+  }
+
+  /// Constructs GF(p^k) with an explicit monic irreducible modulus
+  /// x^k + m[k-1] x^{k-1} + ... + m[0] (m has length k).
+  GFpk(std::uint64_t p, std::vector<std::uint64_t> modulus_low_coeffs)
+      : p_(p),
+        k_(static_cast<unsigned>(modulus_low_coeffs.size())),
+        modulus_(std::move(modulus_low_coeffs)) {}
+
+  Element zero() const { return Element(k_, 0); }
+  Element one() const { return from_int(1); }
+
+  Element add(const Element& a, const Element& b) const {
+    count_adds(k_);
+    Element out(k_);
+    for (unsigned i = 0; i < k_; ++i) {
+      const std::uint64_t s = a[i] + b[i];
+      out[i] = s >= p_ ? s - p_ : s;
+    }
+    return out;
+  }
+  Element sub(const Element& a, const Element& b) const {
+    count_adds(k_);
+    Element out(k_);
+    for (unsigned i = 0; i < k_; ++i) {
+      out[i] = a[i] >= b[i] ? a[i] - b[i] : a[i] + p_ - b[i];
+    }
+    return out;
+  }
+  Element neg(const Element& a) const {
+    count_adds(k_);
+    Element out(k_);
+    for (unsigned i = 0; i < k_; ++i) out[i] = a[i] == 0 ? 0 : p_ - a[i];
+    return out;
+  }
+  Element mul(const Element& a, const Element& b) const {
+    // Cost model: GF(p^k) arithmetic is accounted in WORD operations over
+    // Z/pZ (k^2 multiplies + k^2 adds for a product), so that kernels which
+    // work directly in words (poly/gfpk_ntt.h) are measured in the same
+    // unit as kernels that stay in GF(p^k).
+    count_muls(static_cast<std::uint64_t>(k_) * k_);
+    count_adds(static_cast<std::uint64_t>(k_) * k_);
+    return reduce(convolve(a, b));
+  }
+  Element inv(const Element& a) const {
+    kp::util::count_div();
+    count_muls(static_cast<std::uint64_t>(k_) * k_ * 4);  // extended Euclid
+    assert(!raw_is_zero(a) && "division by zero in GF(p^k)");
+    // Extended Euclid over Z/pZ[x] against the modulus polynomial.
+    std::vector<std::uint64_t> r0 = full_modulus();
+    std::vector<std::uint64_t> r1(a);
+    strip(r1);
+    std::vector<std::uint64_t> t0, t1{1};
+    bool t0_set = false;  // t0 = 0 initially
+    while (!r1.empty()) {
+      auto [q, r2] = poly_divmod(r0, r1);
+      r0 = std::move(r1);
+      r1 = std::move(r2);
+      // (t0, t1) <- (t1, t0 - q * t1)
+      std::vector<std::uint64_t> qt = poly_mul(q, t1);
+      std::vector<std::uint64_t> nt =
+          t0_set ? poly_sub(t0, qt) : poly_neg(qt);
+      t0 = std::move(t1);
+      t1 = std::move(nt);
+      t0_set = true;
+    }
+    assert(r0.size() == 1 && "element not invertible (modulus not irreducible?)");
+    const std::uint64_t scale = detail::invmod(r0[0], p_);
+    Element out(k_, 0);
+    for (std::size_t i = 0; i < t0.size(); ++i) {
+      out[i] = detail::mulmod(t0[i], scale, p_);
+    }
+    return out;
+  }
+  Element div(const Element& a, const Element& b) const {
+    return reduce(convolve(a, inv(b)));
+  }
+
+  bool is_zero(const Element& a) const {
+    kp::util::count_zero_test();
+    return raw_is_zero(a);
+  }
+  bool eq(const Element& a, const Element& b) const { return a == b; }
+
+  Element from_int(std::int64_t v) const {
+    Element out(k_, 0);
+    const std::int64_t m = v % static_cast<std::int64_t>(p_);
+    out[0] = static_cast<std::uint64_t>(m < 0 ? m + static_cast<std::int64_t>(p_) : m);
+    return out;
+  }
+  Element random(kp::util::Prng& prng) const {
+    Element out(k_);
+    for (auto& c : out) c = prng.below(p_);
+    return out;
+  }
+  /// Uniform over a canonical subset of size min(s, p^k): elements whose
+  /// mixed-radix index (base p) is < s.
+  Element sample(kp::util::Prng& prng, std::uint64_t s) const {
+    // Cap s at p^k without overflow.
+    std::uint64_t card = 1;
+    bool overflow = false;
+    for (unsigned i = 0; i < k_ && !overflow; ++i) {
+      if (card > ~std::uint64_t{0} / p_) overflow = true;
+      else card *= p_;
+    }
+    if (!overflow && s > card) s = card;
+    std::uint64_t idx = prng.below(s);
+    Element out(k_, 0);
+    for (unsigned i = 0; i < k_ && idx; ++i) {
+      out[i] = idx % p_;
+      idx /= p_;
+    }
+    return out;
+  }
+
+  std::uint64_t characteristic() const { return p_; }
+  std::uint64_t cardinality() const {
+    std::uint64_t card = 1;
+    for (unsigned i = 0; i < k_; ++i) {
+      if (card > ~std::uint64_t{0} / p_) return 0;  // does not fit: report "huge"
+      card *= p_;
+    }
+    return card;
+  }
+  std::string to_string(const Element& a) const {
+    std::string out = "[";
+    for (unsigned i = 0; i < k_; ++i) {
+      if (i) out += ",";
+      out += std::to_string(a[i]);
+    }
+    return out + "]";
+  }
+
+  std::uint64_t p() const { return p_; }
+  unsigned k() const { return k_; }
+  /// Low coefficients of the monic modulus (length k).
+  const std::vector<std::uint64_t>& modulus() const { return modulus_; }
+
+  /// Reduces an arbitrary-length coefficient vector (entries already in
+  /// [0, p)) modulo the field modulus to a canonical element.  Used by the
+  /// packed-integer fast multiplication kernel (poly/gfpk_ntt.h).
+  Element reduce_coeffs(std::vector<std::uint64_t> v) const {
+    if (v.size() < k_) {
+      v.resize(k_, 0);
+      return v;
+    }
+    return reduce(std::move(v));
+  }
+
+ private:
+  static void count_adds(std::uint64_t n) {
+    kp::util::tl_op_counts.add += n;
+  }
+  static void count_muls(std::uint64_t n) {
+    kp::util::tl_op_counts.mul += n;
+  }
+
+  static bool raw_is_zero(const Element& a) {
+    for (auto c : a) {
+      if (c) return false;
+    }
+    return true;
+  }
+  static void strip(std::vector<std::uint64_t>& v) {
+    while (!v.empty() && v.back() == 0) v.pop_back();
+  }
+
+  std::vector<std::uint64_t> full_modulus() const {
+    std::vector<std::uint64_t> m = modulus_;
+    m.push_back(1);
+    return m;
+  }
+
+  // --- dense Z/pZ[x] helpers (coefficient vectors, stripped) ---
+
+  std::vector<std::uint64_t> convolve(const Element& a, const Element& b) const {
+    std::vector<std::uint64_t> out(2 * k_ - 1, 0);
+    for (unsigned i = 0; i < k_; ++i) {
+      if (a[i] == 0) continue;
+      for (unsigned j = 0; j < k_; ++j) {
+        out[i + j] =
+            (out[i + j] + static_cast<unsigned __int128>(a[i]) * b[j]) % p_;
+      }
+    }
+    return out;
+  }
+
+  /// Reduces a (<= 2k-1)-coefficient vector modulo the monic modulus.
+  Element reduce(std::vector<std::uint64_t> v) const {
+    for (std::size_t d = v.size(); d-- > k_;) {
+      const std::uint64_t c = v[d];
+      if (c == 0) continue;
+      v[d] = 0;
+      for (unsigned i = 0; i < k_; ++i) {
+        // v[d-k+i] -= c * modulus_[i]
+        const std::uint64_t prod = detail::mulmod(c, modulus_[i], p_);
+        std::uint64_t& slot = v[d - k_ + i];
+        slot = slot >= prod ? slot - prod : slot + p_ - prod;
+      }
+    }
+    v.resize(k_, 0);
+    return v;
+  }
+
+  std::vector<std::uint64_t> poly_mul(const std::vector<std::uint64_t>& a,
+                                      const std::vector<std::uint64_t>& b) const {
+    if (a.empty() || b.empty()) return {};
+    std::vector<std::uint64_t> out(a.size() + b.size() - 1, 0);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (a[i] == 0) continue;
+      for (std::size_t j = 0; j < b.size(); ++j) {
+        out[i + j] =
+            (out[i + j] + static_cast<unsigned __int128>(a[i]) * b[j]) % p_;
+      }
+    }
+    strip(out);
+    return out;
+  }
+
+  std::vector<std::uint64_t> poly_sub(const std::vector<std::uint64_t>& a,
+                                      const std::vector<std::uint64_t>& b) const {
+    std::vector<std::uint64_t> out(std::max(a.size(), b.size()), 0);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      const std::uint64_t av = i < a.size() ? a[i] : 0;
+      const std::uint64_t bv = i < b.size() ? b[i] : 0;
+      out[i] = av >= bv ? av - bv : av + p_ - bv;
+    }
+    strip(out);
+    return out;
+  }
+
+  std::vector<std::uint64_t> poly_neg(const std::vector<std::uint64_t>& a) const {
+    std::vector<std::uint64_t> out(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] ? p_ - a[i] : 0;
+    return out;
+  }
+
+  std::pair<std::vector<std::uint64_t>, std::vector<std::uint64_t>> poly_divmod(
+      std::vector<std::uint64_t> num, const std::vector<std::uint64_t>& den) const {
+    assert(!den.empty());
+    if (num.size() < den.size()) return {{}, std::move(num)};
+    std::vector<std::uint64_t> quot(num.size() - den.size() + 1, 0);
+    const std::uint64_t lead_inv = detail::invmod(den.back(), p_);
+    for (std::size_t d = num.size() - 1; d + 1 >= den.size(); --d) {
+      const std::uint64_t c = detail::mulmod(num[d], lead_inv, p_);
+      if (c) {
+        const std::size_t shift = d - (den.size() - 1);
+        quot[shift] = c;
+        for (std::size_t i = 0; i < den.size(); ++i) {
+          const std::uint64_t prod = detail::mulmod(c, den[i], p_);
+          std::uint64_t& slot = num[shift + i];
+          slot = slot >= prod ? slot - prod : slot + p_ - prod;
+        }
+      }
+      if (d == 0) break;
+    }
+    strip(num);
+    return {std::move(quot), std::move(num)};
+  }
+
+  /// x^e mod f via square-and-multiply on polynomials.
+  std::vector<std::uint64_t> x_pow_mod(unsigned __int128 e,
+                                       const std::vector<std::uint64_t>& f) const {
+    std::vector<std::uint64_t> acc{1};
+    std::vector<std::uint64_t> base{0, 1};
+    base = poly_divmod(base, f).second;
+    while (e) {
+      if (e & 1) acc = poly_divmod(poly_mul(acc, base), f).second;
+      base = poly_divmod(poly_mul(base, base), f).second;
+      e >>= 1;
+    }
+    return acc;
+  }
+
+  std::vector<std::uint64_t> poly_gcd(std::vector<std::uint64_t> a,
+                                      std::vector<std::uint64_t> b) const {
+    while (!b.empty()) {
+      auto r = poly_divmod(a, b).second;
+      a = std::move(b);
+      b = std::move(r);
+    }
+    return a;
+  }
+
+  /// Rabin's test: monic f of degree k is irreducible over Z/pZ iff
+  /// x^(p^k) = x (mod f) and gcd(x^(p^(k/q)) - x, f) = 1 for prime q | k.
+  bool is_irreducible(const std::vector<std::uint64_t>& f) const {
+    auto x_minus = [this, &f](std::vector<std::uint64_t> g) {
+      // (g - x) mod f.  The reduction matters when deg f = 1: g is a
+      // constant there and g - x has degree 1 = deg f.
+      if (g.size() < 2) g.resize(2, 0);
+      g[1] = g[1] >= 1 ? g[1] - 1 : p_ - 1;
+      strip(g);
+      return poly_divmod(std::move(g), f).second;
+    };
+    unsigned __int128 pk = 1;
+    for (unsigned i = 0; i < k_; ++i) pk *= p_;
+    if (!x_minus(x_pow_mod(pk, f)).empty()) return false;
+    std::vector<std::uint64_t> prime_divisors;
+    detail::factor_u64(k_, prime_divisors);
+    std::sort(prime_divisors.begin(), prime_divisors.end());
+    prime_divisors.erase(
+        std::unique(prime_divisors.begin(), prime_divisors.end()),
+        prime_divisors.end());
+    for (std::uint64_t q : prime_divisors) {
+      unsigned __int128 e = 1;
+      for (unsigned i = 0; i < k_ / q; ++i) e *= p_;
+      auto g = poly_gcd(f, x_minus(x_pow_mod(e, f)));
+      if (g.size() != 1) return false;
+    }
+    return true;
+  }
+
+  std::vector<std::uint64_t> find_irreducible(kp::util::Prng& prng) const {
+    while (true) {
+      std::vector<std::uint64_t> low(k_);
+      for (auto& c : low) c = prng.below(p_);
+      std::vector<std::uint64_t> f = low;
+      f.push_back(1);  // monic degree k
+      if (is_irreducible(f)) return low;
+    }
+  }
+
+  std::uint64_t p_;
+  unsigned k_;
+  std::vector<std::uint64_t> modulus_;  // low k coefficients of the monic modulus
+};
+
+}  // namespace kp::field

@@ -1,0 +1,132 @@
+// Deterministic 64-bit primality testing and prime search.
+//
+// Used to validate user-supplied moduli, to find NTT-friendly primes
+// (p = c * 2^k + 1) at runtime, and by the probability experiments that
+// sweep over sample-set sizes.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "field/zp.h"
+
+namespace kp::field {
+
+/// Deterministic Miller-Rabin for 64-bit integers using the standard witness
+/// set {2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37}, which is exact for all
+/// n < 3.3 * 10^24.
+inline bool is_prime_u64(std::uint64_t n) {
+  if (n < 2) return false;
+  for (std::uint64_t p : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL,
+                          23ULL, 29ULL, 31ULL, 37ULL}) {
+    if (n % p == 0) return n == p;
+  }
+  std::uint64_t d = n - 1;
+  int r = 0;
+  while ((d & 1) == 0) {
+    d >>= 1;
+    ++r;
+  }
+  for (std::uint64_t a : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL,
+                          23ULL, 29ULL, 31ULL, 37ULL}) {
+    std::uint64_t x = detail::powmod(a, d, n);
+    if (x == 1 || x == n - 1) continue;
+    bool composite = true;
+    for (int i = 0; i < r - 1; ++i) {
+      x = detail::mulmod(x, x, n);
+      if (x == n - 1) {
+        composite = false;
+        break;
+      }
+    }
+    if (composite) return false;
+  }
+  return true;
+}
+
+/// Smallest prime >= n (n must be < 2^63 - small slack).
+inline std::uint64_t next_prime(std::uint64_t n) {
+  if (n <= 2) return 2;
+  if ((n & 1) == 0) ++n;
+  while (!is_prime_u64(n)) n += 2;
+  return n;
+}
+
+/// Finds a prime p = c * 2^k + 1 with p in [2^(bits-1), 2^bits), i.e. a
+/// field with a 2^k-th root of unity, suitable for NTT of length <= 2^k.
+inline std::uint64_t find_ntt_prime(int k, int bits = 62) {
+  const std::uint64_t step = 1ULL << k;
+  for (std::uint64_t c = (1ULL << (bits - 1 - k)) | 1;; c += 2) {
+    const std::uint64_t p = c * step + 1;
+    if (p >= (1ULL << bits)) break;
+    if (is_prime_u64(p)) return p;
+  }
+  return 0;
+}
+
+namespace detail {
+
+/// Pollard's rho (Brent variant) returning a non-trivial factor of composite n.
+inline std::uint64_t pollard_rho(std::uint64_t n) {
+  if ((n & 1) == 0) return 2;
+  std::uint64_t c = 1;
+  while (true) {
+    std::uint64_t x = 2, y = 2, d = 1;
+    auto f = [&](std::uint64_t v) { return (mulmod(v, v, n) + c) % n; };
+    while (d == 1) {
+      x = f(x);
+      y = f(f(y));
+      const std::uint64_t diff = x > y ? x - y : y - x;
+      d = std::gcd(diff, n);
+    }
+    if (d != n) return d;
+    ++c;  // unlucky cycle; retry with a different polynomial
+  }
+}
+
+inline void factor_u64(std::uint64_t n, std::vector<std::uint64_t>& primes) {
+  if (n == 1) return;
+  if (is_prime_u64(n)) {
+    primes.push_back(n);
+    return;
+  }
+  // Strip small factors first; rho handles the remaining hard composites.
+  for (std::uint64_t p = 2; p <= 1000 && p * p <= n; p = (p == 2 ? 3 : p + 2)) {
+    while (n % p == 0) {
+      primes.push_back(p);
+      n /= p;
+    }
+  }
+  if (n == 1) return;
+  if (is_prime_u64(n)) {
+    primes.push_back(n);
+    return;
+  }
+  const std::uint64_t d = pollard_rho(n);
+  factor_u64(d, primes);
+  factor_u64(n / d, primes);
+}
+
+}  // namespace detail
+
+/// A generator of the multiplicative group of Z/pZ (p prime).
+inline std::uint64_t primitive_root(std::uint64_t p) {
+  std::vector<std::uint64_t> primes;
+  detail::factor_u64(p - 1, primes);
+  std::sort(primes.begin(), primes.end());
+  primes.erase(std::unique(primes.begin(), primes.end()), primes.end());
+  for (std::uint64_t g = 2;; ++g) {
+    bool ok = true;
+    for (std::uint64_t q : primes) {
+      if (detail::powmod(g, (p - 1) / q, p) == 1) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return g;
+  }
+}
+
+}  // namespace kp::field

@@ -1,0 +1,134 @@
+// Exact rational numbers and the field domain Q.
+//
+// Q is the library's canonical characteristic-zero field: Theorems 3, 4 and 6
+// hold over it unconditionally, and the least-squares extension (section 5)
+// requires characteristic 0.  Representation is a normalized fraction of
+// BigInts (gcd(num, den) = 1, den > 0).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+#include "field/bigint.h"
+#include "util/op_count.h"
+#include "util/prng.h"
+
+namespace kp::field {
+
+/// Normalized exact fraction.
+class Rational {
+ public:
+  Rational() : num_(0), den_(1) {}
+  Rational(std::int64_t v) : num_(v), den_(1) {}  // NOLINT: literal interop
+  Rational(BigInt num, BigInt den) : num_(std::move(num)), den_(std::move(den)) {
+    normalize();
+  }
+
+  const BigInt& num() const { return num_; }
+  const BigInt& den() const { return den_; }
+  bool is_zero() const { return num_.is_zero(); }
+
+  Rational operator+(const Rational& o) const {
+    return Rational(num_ * o.den_ + o.num_ * den_, den_ * o.den_);
+  }
+  Rational operator-(const Rational& o) const {
+    return Rational(num_ * o.den_ - o.num_ * den_, den_ * o.den_);
+  }
+  Rational operator*(const Rational& o) const {
+    return Rational(num_ * o.num_, den_ * o.den_);
+  }
+  Rational operator/(const Rational& o) const {
+    assert(!o.is_zero() && "division by zero in Q");
+    return Rational(num_ * o.den_, den_ * o.num_);
+  }
+  Rational operator-() const {
+    Rational out = *this;
+    out.num_ = -out.num_;
+    return out;
+  }
+
+  bool operator==(const Rational& o) const {
+    return num_ == o.num_ && den_ == o.den_;
+  }
+  bool operator!=(const Rational& o) const { return !(*this == o); }
+  bool operator<(const Rational& o) const {
+    return num_ * o.den_ < o.num_ * den_;
+  }
+
+  double to_double() const { return num_.to_double() / den_.to_double(); }
+
+  std::string to_string() const {
+    return den_ == BigInt(1) ? num_.to_string()
+                             : num_.to_string() + "/" + den_.to_string();
+  }
+
+ private:
+  void normalize() {
+    assert(!den_.is_zero() && "zero denominator");
+    if (den_.is_negative()) {
+      num_ = -num_;
+      den_ = -den_;
+    }
+    const BigInt g = BigInt::gcd(num_, den_);
+    if (g != BigInt(1) && !g.is_zero()) {
+      num_ /= g;
+      den_ /= g;
+    }
+    if (num_.is_zero()) den_ = BigInt(1);
+  }
+
+  BigInt num_;
+  BigInt den_;
+};
+
+/// The field domain for Q.  random()/sample() draw uniformly from the
+/// canonical sample set S = {0, 1, ..., s-1} of *integers*, matching the
+/// paper's model of picking random elements from a finite subset of the
+/// field (and keeping bit-growth of the preconditioners modest).
+class RationalField {
+ public:
+  using Element = Rational;
+
+  Element zero() const { return Rational(0); }
+  Element one() const { return Rational(1); }
+  Element add(const Element& a, const Element& b) const {
+    kp::util::count_add();
+    return a + b;
+  }
+  Element sub(const Element& a, const Element& b) const {
+    kp::util::count_add();
+    return a - b;
+  }
+  Element neg(const Element& a) const {
+    kp::util::count_add();
+    return -a;
+  }
+  Element mul(const Element& a, const Element& b) const {
+    kp::util::count_mul();
+    return a * b;
+  }
+  Element inv(const Element& a) const {
+    kp::util::count_div();
+    return Rational(1) / a;
+  }
+  Element div(const Element& a, const Element& b) const {
+    kp::util::count_div();
+    return a / b;
+  }
+  bool is_zero(const Element& a) const {
+    kp::util::count_zero_test();
+    return a.is_zero();
+  }
+  bool eq(const Element& a, const Element& b) const { return a == b; }
+  Element from_int(std::int64_t v) const { return Rational(v); }
+  Element random(kp::util::Prng& prng) const { return sample(prng, 1u << 20); }
+  Element sample(kp::util::Prng& prng, std::uint64_t s) const {
+    return Rational(static_cast<std::int64_t>(prng.below(s)));
+  }
+  std::uint64_t characteristic() const { return 0; }
+  std::uint64_t cardinality() const { return 0; }
+  std::string to_string(const Element& a) const { return a.to_string(); }
+};
+
+}  // namespace kp::field

@@ -1,0 +1,191 @@
+// Prime fields Z/pZ for word-sized p.
+//
+// Two flavours:
+//   * Zp<P>   -- compile-time modulus; the workhorse for tests and benches.
+//   * GFp     -- runtime modulus; used when the modulus is data (e.g. when an
+//                experiment sweeps field sizes, or the user supplies p).
+//
+// Elements are canonical representatives in [0, p).  All reductions use
+// 128-bit intermediates, so any p < 2^63 is supported.  Every arithmetic
+// operation reports to the thread-local op counters (util/op_count.h), which
+// is how benchmarks measure work in the paper's unit cost model.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "field/concepts.h"
+#include "util/op_count.h"
+#include "util/prng.h"
+
+namespace kp::field {
+
+namespace detail {
+
+inline std::uint64_t mulmod(std::uint64_t a, std::uint64_t b, std::uint64_t p) {
+  return static_cast<std::uint64_t>(
+      static_cast<unsigned __int128>(a) * b % p);
+}
+
+/// Modular exponentiation by squaring (no op-counting: used internally for
+/// inversion, which the cost model charges as a single division).
+inline std::uint64_t powmod(std::uint64_t base, std::uint64_t e, std::uint64_t p) {
+  std::uint64_t acc = 1 % p;
+  base %= p;
+  while (e) {
+    if (e & 1) acc = mulmod(acc, base, p);
+    base = mulmod(base, base, p);
+    e >>= 1;
+  }
+  return acc;
+}
+
+/// Inverse via extended Euclid; requires gcd(a, p) = 1.
+inline std::uint64_t invmod(std::uint64_t a, std::uint64_t p) {
+  assert(a % p != 0 && "division by zero in Z/pZ");
+  std::int64_t t = 0, new_t = 1;
+  std::int64_t r = static_cast<std::int64_t>(p),
+               new_r = static_cast<std::int64_t>(a % p);
+  while (new_r != 0) {
+    const std::int64_t q = r / new_r;
+    t = std::exchange(new_t, t - q * new_t);
+    r = std::exchange(new_r, r - q * new_r);
+  }
+  assert(r == 1 && "modulus not prime or element not invertible");
+  if (t < 0) t += static_cast<std::int64_t>(p);
+  return static_cast<std::uint64_t>(t);
+}
+
+}  // namespace detail
+
+/// Z/pZ with compile-time prime modulus P.
+template <std::uint64_t P>
+class Zp {
+  static_assert(P >= 2 && P < (1ULL << 63), "modulus out of range");
+
+ public:
+  using Element = std::uint64_t;
+
+  constexpr Element zero() const { return 0; }
+  constexpr Element one() const { return 1 % P; }
+
+  Element add(Element a, Element b) const {
+    kp::util::count_add();
+    const Element s = a + b;
+    return s >= P ? s - P : s;
+  }
+  Element sub(Element a, Element b) const {
+    kp::util::count_add();
+    return a >= b ? a - b : a + P - b;
+  }
+  Element neg(Element a) const {
+    kp::util::count_add();
+    return a == 0 ? 0 : P - a;
+  }
+  Element mul(Element a, Element b) const {
+    kp::util::count_mul();
+    return detail::mulmod(a, b, P);
+  }
+  Element inv(Element a) const {
+    kp::util::count_div();
+    return detail::invmod(a, P);
+  }
+  Element div(Element a, Element b) const { return mul_nocount(a, inv(b)); }
+
+  bool is_zero(Element a) const {
+    kp::util::count_zero_test();
+    return a == 0;
+  }
+  bool eq(Element a, Element b) const { return a == b; }
+
+  Element from_int(std::int64_t v) const {
+    const std::int64_t m = v % static_cast<std::int64_t>(P);
+    return static_cast<Element>(m < 0 ? m + static_cast<std::int64_t>(P) : m);
+  }
+  Element random(kp::util::Prng& prng) const { return prng.below(P); }
+  Element sample(kp::util::Prng& prng, std::uint64_t s) const {
+    return prng.below(s < P ? s : P);
+  }
+
+  std::uint64_t characteristic() const { return P; }
+  std::uint64_t cardinality() const { return P; }
+  std::string to_string(Element a) const { return std::to_string(a); }
+
+ private:
+  // div() already charged one division; do not double-charge the multiply.
+  static Element mul_nocount(Element a, Element b) {
+    return detail::mulmod(a, b, P);
+  }
+};
+
+/// Z/pZ with runtime prime modulus.
+class GFp {
+ public:
+  using Element = std::uint64_t;
+
+  explicit GFp(std::uint64_t p) : p_(p) {
+    assert(p >= 2 && p < (1ULL << 63));
+  }
+
+  Element zero() const { return 0; }
+  Element one() const { return 1 % p_; }
+
+  Element add(Element a, Element b) const {
+    kp::util::count_add();
+    const Element s = a + b;
+    return s >= p_ ? s - p_ : s;
+  }
+  Element sub(Element a, Element b) const {
+    kp::util::count_add();
+    return a >= b ? a - b : a + p_ - b;
+  }
+  Element neg(Element a) const {
+    kp::util::count_add();
+    return a == 0 ? 0 : p_ - a;
+  }
+  Element mul(Element a, Element b) const {
+    kp::util::count_mul();
+    return detail::mulmod(a, b, p_);
+  }
+  Element inv(Element a) const {
+    kp::util::count_div();
+    return detail::invmod(a, p_);
+  }
+  Element div(Element a, Element b) const {
+    return detail::mulmod(a, inv(b), p_);
+  }
+
+  bool is_zero(Element a) const {
+    kp::util::count_zero_test();
+    return a == 0;
+  }
+  bool eq(Element a, Element b) const { return a == b; }
+
+  Element from_int(std::int64_t v) const {
+    const std::int64_t m = v % static_cast<std::int64_t>(p_);
+    return static_cast<Element>(m < 0 ? m + static_cast<std::int64_t>(p_) : m);
+  }
+  Element random(kp::util::Prng& prng) const { return prng.below(p_); }
+  Element sample(kp::util::Prng& prng, std::uint64_t s) const {
+    return prng.below(s < p_ ? s : p_);
+  }
+
+  std::uint64_t characteristic() const { return p_; }
+  std::uint64_t cardinality() const { return p_; }
+  std::string to_string(Element a) const { return std::to_string(a); }
+
+  std::uint64_t modulus() const { return p_; }
+
+ private:
+  std::uint64_t p_;
+};
+
+/// Default large test primes.  With p ~ 2^61 the failure bound 3n²/|S| of
+/// estimate (2) is negligible for any n this library handles.
+inline constexpr std::uint64_t kP61 = (1ULL << 61) - 1;  // Mersenne prime
+/// NTT-friendly prime p = 5 * 2^55 + 1 (2^55 | p - 1), for fast poly mult.
+inline constexpr std::uint64_t kNttPrime = 180143985094819841ULL;
+
+}  // namespace kp::field

@@ -1,0 +1,192 @@
+// Black-box linear operators.
+//
+// Wiedemann's algorithm only ever touches the coefficient matrix through
+// matrix-vector products, so the core pipeline is written against this
+// LinOp concept.  Adapters wrap the concrete matrix kinds (dense, sparse,
+// Toeplitz, Hankel, diagonal) and compose (products, transposes, shifts),
+// which is how the preconditioned operator A*H*D of Theorem 2 is formed
+// without ever materializing it.
+#pragma once
+
+#include <concepts>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "matrix/dense.h"
+#include "matrix/sparse.h"
+#include "matrix/structured.h"
+#include "poly/poly.h"
+
+namespace kp::matrix {
+
+/// A square linear operator that can be applied to a vector.
+template <class B>
+concept LinOp = requires(const B b, const std::vector<typename B::Element>& x) {
+  typename B::Element;
+  { b.dim() } -> std::convertible_to<std::size_t>;
+  { b.apply(x) } -> std::convertible_to<std::vector<typename B::Element>>;
+};
+
+/// Dense matrix as a black box.
+template <kp::field::CommutativeRing R>
+class DenseBox {
+ public:
+  using Element = typename R::Element;
+  DenseBox(const R& r, Matrix<R> a) : r_(&r), a_(std::move(a)) {
+    assert(a_.is_square());
+  }
+  std::size_t dim() const { return a_.rows(); }
+  std::vector<Element> apply(const std::vector<Element>& x) const {
+    return mat_vec(*r_, a_, x);
+  }
+  std::vector<Element> apply_transpose(const std::vector<Element>& x) const {
+    return vec_mat(*r_, x, a_);
+  }
+  const Matrix<R>& matrix() const { return a_; }
+
+ private:
+  const R* r_;
+  Matrix<R> a_;
+};
+
+/// CSR sparse matrix as a black box.
+template <kp::field::CommutativeRing R>
+class SparseBox {
+ public:
+  using Element = typename R::Element;
+  SparseBox(const R& r, Sparse<R> a) : r_(&r), a_(std::move(a)) {
+    assert(a_.rows() == a_.cols());
+  }
+  std::size_t dim() const { return a_.rows(); }
+  std::vector<Element> apply(const std::vector<Element>& x) const {
+    return a_.apply(*r_, x);
+  }
+  std::vector<Element> apply_transpose(const std::vector<Element>& x) const {
+    return a_.apply_transpose(*r_, x);
+  }
+  const Sparse<R>& matrix() const { return a_; }
+
+ private:
+  const R* r_;
+  Sparse<R> a_;
+};
+
+/// Toeplitz matrix as a black box (O(M(n)) products via polynomial mult).
+template <kp::field::Field F>
+class ToeplitzBox {
+ public:
+  using Element = typename F::Element;
+  ToeplitzBox(const kp::poly::PolyRing<F>& ring, Toeplitz<F> t)
+      : ring_(&ring), t_(std::move(t)) {}
+  std::size_t dim() const { return t_.dim(); }
+  std::vector<Element> apply(const std::vector<Element>& x) const {
+    return t_.apply(*ring_, x);
+  }
+  std::vector<Element> apply_transpose(const std::vector<Element>& x) const {
+    return t_.apply_transpose(*ring_, x);
+  }
+
+ private:
+  const kp::poly::PolyRing<F>* ring_;
+  Toeplitz<F> t_;
+};
+
+/// Hankel matrix as a black box (symmetric, so transpose == apply).
+template <kp::field::Field F>
+class HankelBox {
+ public:
+  using Element = typename F::Element;
+  HankelBox(const kp::poly::PolyRing<F>& ring, Hankel<F> h)
+      : ring_(&ring), h_(std::move(h)) {}
+  std::size_t dim() const { return h_.dim(); }
+  std::vector<Element> apply(const std::vector<Element>& x) const {
+    return h_.apply(*ring_, x);
+  }
+  std::vector<Element> apply_transpose(const std::vector<Element>& x) const {
+    return h_.apply(*ring_, x);
+  }
+  const Hankel<F>& matrix() const { return h_; }
+
+ private:
+  const kp::poly::PolyRing<F>* ring_;
+  Hankel<F> h_;
+};
+
+/// Diagonal matrix as a black box.
+template <kp::field::CommutativeRing R>
+class DiagonalBox {
+ public:
+  using Element = typename R::Element;
+  DiagonalBox(const R& r, Diagonal<R> d) : r_(&r), d_(std::move(d)) {}
+  std::size_t dim() const { return d_.dim(); }
+  std::vector<Element> apply(const std::vector<Element>& x) const {
+    return d_.apply(*r_, x);
+  }
+  std::vector<Element> apply_transpose(const std::vector<Element>& x) const {
+    return d_.apply(*r_, x);
+  }
+  const Diagonal<R>& matrix() const { return d_; }
+
+ private:
+  const R* r_;
+  Diagonal<R> d_;
+};
+
+/// Composition (A * B) x = A (B x) -- preconditioners compose this way
+/// without ever forming the product matrix.
+template <LinOp A, LinOp B>
+  requires std::same_as<typename A::Element, typename B::Element>
+class ProductBox {
+ public:
+  using Element = typename A::Element;
+  ProductBox(A a, B b) : a_(std::move(a)), b_(std::move(b)) {
+    assert(a_.dim() == b_.dim());
+  }
+  std::size_t dim() const { return a_.dim(); }
+  std::vector<Element> apply(const std::vector<Element>& x) const {
+    return a_.apply(b_.apply(x));
+  }
+
+ private:
+  A a_;
+  B b_;
+};
+
+/// Transpose view of a box that supports apply_transpose.
+template <class B>
+class TransposeBox {
+ public:
+  using Element = typename B::Element;
+  explicit TransposeBox(B b) : b_(std::move(b)) {}
+  std::size_t dim() const { return b_.dim(); }
+  std::vector<Element> apply(const std::vector<Element>& x) const {
+    return b_.apply_transpose(x);
+  }
+  std::vector<Element> apply_transpose(const std::vector<Element>& x) const {
+    return b_.apply(x);
+  }
+
+ private:
+  B b_;
+};
+
+/// Computes the projected Krylov sequence {u A^i v : 0 <= i < count}
+/// iteratively: count-1 black-box products and count dot products.  This is
+/// Wiedemann's sequential route to the sequence (8); the processor-efficient
+/// doubling route (9) lives in core/krylov.h.
+template <kp::field::CommutativeRing R, LinOp B>
+std::vector<typename R::Element> krylov_sequence_iterative(
+    const R& r, const B& box, const std::vector<typename R::Element>& u,
+    const std::vector<typename R::Element>& v, std::size_t count) {
+  std::vector<typename R::Element> seq;
+  seq.reserve(count);
+  auto x = v;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (i) x = box.apply(x);
+    seq.push_back(dot(r, u, x));
+  }
+  return seq;
+}
+
+}  // namespace kp::matrix

@@ -1,0 +1,235 @@
+// Dense matrices over an arbitrary commutative ring.
+//
+// A Matrix<R> is a plain row-major value type; all arithmetic lives in free
+// functions parameterized by the domain object, following the same
+// domain/element split as the field layer.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "field/concepts.h"
+#include "util/prng.h"
+
+namespace kp::matrix {
+
+/// Sums a term buffer as a balanced binary tree (depth ceil(log2 n) instead
+/// of n-1).  Same operation count as a linear scan, but every inner-product
+/// kernel in the library accumulates this way so that circuits built over
+/// the symbolic CircuitBuilderField have the logarithmic depth the paper's
+/// PRAM model assumes.  The buffer is consumed.
+template <kp::field::CommutativeRing R>
+typename R::Element balanced_sum(const R& r,
+                                 std::vector<typename R::Element>& terms) {
+  if (terms.empty()) return r.zero();
+  std::size_t count = terms.size();
+  while (count > 1) {
+    std::size_t out = 0;
+    for (std::size_t i = 0; i + 1 < count; i += 2) {
+      terms[out++] = r.add(terms[i], terms[i + 1]);
+    }
+    if (count % 2) terms[out++] = std::move(terms[count - 1]);
+    count = out;
+  }
+  return std::move(terms[0]);
+}
+
+/// Row-major dense matrix of R::Element.
+template <kp::field::CommutativeRing R>
+class Matrix {
+ public:
+  using Element = typename R::Element;
+
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(std::size_t rows, std::size_t cols, Element fill)
+      : rows_(rows), cols_(cols), data_(rows * cols, std::move(fill)) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool is_square() const { return rows_ == cols_; }
+
+  Element& at(std::size_t i, std::size_t j) {
+    assert(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+  const Element& at(std::size_t i, std::size_t j) const {
+    assert(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+
+  /// Contiguous row access for kernels.
+  Element* row(std::size_t i) { return data_.data() + i * cols_; }
+  const Element* row(std::size_t i) const { return data_.data() + i * cols_; }
+
+  std::vector<Element>& data() { return data_; }
+  const std::vector<Element>& data() const { return data_; }
+
+ private:
+  std::size_t rows_, cols_;
+  std::vector<Element> data_;
+};
+
+template <kp::field::CommutativeRing R>
+Matrix<R> zero_matrix(const R& r, std::size_t rows, std::size_t cols) {
+  return Matrix<R>(rows, cols, r.zero());
+}
+
+template <kp::field::CommutativeRing R>
+Matrix<R> identity_matrix(const R& r, std::size_t n) {
+  Matrix<R> out(n, n, r.zero());
+  for (std::size_t i = 0; i < n; ++i) out.at(i, i) = r.one();
+  return out;
+}
+
+/// Matrix with i.i.d. uniform entries from the whole field.
+template <kp::field::CommutativeRing R>
+Matrix<R> random_matrix(const R& r, std::size_t rows, std::size_t cols,
+                        kp::util::Prng& prng) {
+  Matrix<R> out(rows, cols, r.zero());
+  for (auto& e : out.data()) e = r.random(prng);
+  return out;
+}
+
+/// Matrix with i.i.d. entries from the canonical sample set of size s
+/// (the set S of the paper's probability statements).
+template <kp::field::Field F>
+Matrix<F> sample_matrix(const F& f, std::size_t rows, std::size_t cols,
+                        kp::util::Prng& prng, std::uint64_t s) {
+  Matrix<F> out(rows, cols, f.zero());
+  for (auto& e : out.data()) e = f.sample(prng, s);
+  return out;
+}
+
+template <kp::field::CommutativeRing R>
+bool mat_eq(const R& r, const Matrix<R>& a, const Matrix<R>& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  for (std::size_t i = 0; i < a.data().size(); ++i) {
+    if (!r.eq(a.data()[i], b.data()[i])) return false;
+  }
+  return true;
+}
+
+template <kp::field::CommutativeRing R>
+Matrix<R> mat_add(const R& r, const Matrix<R>& a, const Matrix<R>& b) {
+  assert(a.rows() == b.rows() && a.cols() == b.cols());
+  Matrix<R> out(a.rows(), a.cols(), r.zero());
+  for (std::size_t i = 0; i < a.data().size(); ++i) {
+    out.data()[i] = r.add(a.data()[i], b.data()[i]);
+  }
+  return out;
+}
+
+template <kp::field::CommutativeRing R>
+Matrix<R> mat_sub(const R& r, const Matrix<R>& a, const Matrix<R>& b) {
+  assert(a.rows() == b.rows() && a.cols() == b.cols());
+  Matrix<R> out(a.rows(), a.cols(), r.zero());
+  for (std::size_t i = 0; i < a.data().size(); ++i) {
+    out.data()[i] = r.sub(a.data()[i], b.data()[i]);
+  }
+  return out;
+}
+
+template <kp::field::CommutativeRing R>
+Matrix<R> mat_neg(const R& r, const Matrix<R>& a) {
+  Matrix<R> out(a.rows(), a.cols(), r.zero());
+  for (std::size_t i = 0; i < a.data().size(); ++i) {
+    out.data()[i] = r.neg(a.data()[i]);
+  }
+  return out;
+}
+
+template <kp::field::CommutativeRing R>
+Matrix<R> mat_scale(const R& r, const typename R::Element& c, const Matrix<R>& a) {
+  Matrix<R> out(a.rows(), a.cols(), r.zero());
+  for (std::size_t i = 0; i < a.data().size(); ++i) {
+    out.data()[i] = r.mul(c, a.data()[i]);
+  }
+  return out;
+}
+
+template <kp::field::CommutativeRing R>
+Matrix<R> mat_transpose(const R& r, const Matrix<R>& a) {
+  Matrix<R> out(a.cols(), a.rows(), r.zero());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) out.at(j, i) = a.at(i, j);
+  }
+  return out;
+}
+
+/// Dense matrix * vector.
+template <kp::field::CommutativeRing R>
+std::vector<typename R::Element> mat_vec(const R& r, const Matrix<R>& a,
+                                         const std::vector<typename R::Element>& x) {
+  assert(a.cols() == x.size());
+  std::vector<typename R::Element> out(a.rows(), r.zero());
+  std::vector<typename R::Element> terms;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const auto* row = a.row(i);
+    terms.clear();
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      terms.push_back(r.mul(row[j], x[j]));
+    }
+    out[i] = balanced_sum(r, terms);
+  }
+  return out;
+}
+
+/// Row vector * dense matrix.
+template <kp::field::CommutativeRing R>
+std::vector<typename R::Element> vec_mat(const R& r,
+                                         const std::vector<typename R::Element>& x,
+                                         const Matrix<R>& a) {
+  assert(a.rows() == x.size());
+  std::vector<typename R::Element> out(a.cols(), r.zero());
+  std::vector<typename R::Element> terms;
+  for (std::size_t j = 0; j < a.cols(); ++j) {
+    terms.clear();
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+      terms.push_back(r.mul(x[i], a.at(i, j)));
+    }
+    out[j] = balanced_sum(r, terms);
+  }
+  return out;
+}
+
+/// Inner product of two vectors.
+template <kp::field::CommutativeRing R>
+typename R::Element dot(const R& r, const std::vector<typename R::Element>& x,
+                        const std::vector<typename R::Element>& y) {
+  assert(x.size() == y.size());
+  std::vector<typename R::Element> terms;
+  terms.reserve(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    terms.push_back(r.mul(x[i], y[i]));
+  }
+  return balanced_sum(r, terms);
+}
+
+/// Leading principal i x i submatrix.
+template <kp::field::CommutativeRing R>
+Matrix<R> leading_principal(const R& r, const Matrix<R>& a, std::size_t i) {
+  assert(i <= a.rows() && i <= a.cols());
+  Matrix<R> out(i, i, r.zero());
+  for (std::size_t x = 0; x < i; ++x) {
+    for (std::size_t y = 0; y < i; ++y) out.at(x, y) = a.at(x, y);
+  }
+  return out;
+}
+
+template <kp::field::CommutativeRing R>
+std::string mat_to_string(const R& r, const Matrix<R>& a) {
+  std::string out;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    out += "[ ";
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      out += r.to_string(a.at(i, j));
+      out += ' ';
+    }
+    out += "]\n";
+  }
+  return out;
+}
+
+}  // namespace kp::matrix

@@ -1,0 +1,76 @@
+// Evaluation of a polynomial at a matrix argument.
+//
+// The Theorem-4 solver finishes with the Cayley-Hamilton step
+//   x = -(1/c_n) (A^{n-1} b + c_1 A^{n-2} b + ... + c_{n-1} b),
+// which only needs matrix-VECTOR products (Horner on the vector).  The
+// practical inverse (core/inverse.h) however evaluates the full matrix
+// polynomial q(A); Paterson-Stockmeyer does that with O(sqrt(n)) matrix
+// products instead of n.
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+#include "matrix/dense.h"
+#include "matrix/matmul.h"
+
+namespace kp::matrix {
+
+/// Evaluates p(A) * b with deg(p) matrix-vector products (Horner).
+template <kp::field::CommutativeRing R>
+std::vector<typename R::Element> matrix_poly_apply(
+    const R& r, const Matrix<R>& a, const std::vector<typename R::Element>& coeffs,
+    const std::vector<typename R::Element>& b) {
+  assert(a.is_square() && a.rows() == b.size());
+  std::vector<typename R::Element> acc(b.size(), r.zero());
+  for (std::size_t k = coeffs.size(); k-- > 0;) {
+    acc = mat_vec(r, a, acc);
+    for (std::size_t i = 0; i < b.size(); ++i) {
+      acc[i] = r.add(acc[i], r.mul(coeffs[k], b[i]));
+    }
+  }
+  return acc;
+}
+
+/// Paterson-Stockmeyer evaluation of p(A) using ~2*sqrt(deg) matrix
+/// multiplications: split p into blocks of size s, precompute A^0..A^s,
+/// and Horner over A^s with matrix coefficients.
+template <kp::field::CommutativeRing R>
+Matrix<R> matrix_poly_eval(const R& r, const Matrix<R>& a,
+                           const std::vector<typename R::Element>& coeffs,
+                           MatMulStrategy strategy = MatMulStrategy::kClassical) {
+  assert(a.is_square());
+  const std::size_t n = a.rows();
+  if (coeffs.empty()) return zero_matrix(r, n, n);
+
+  const std::size_t deg = coeffs.size() - 1;
+  const std::size_t s =
+      std::max<std::size_t>(1, static_cast<std::size_t>(std::ceil(std::sqrt(static_cast<double>(deg + 1)))));
+
+  // Powers A^0 .. A^s.
+  std::vector<Matrix<R>> pw;
+  pw.reserve(s + 1);
+  pw.push_back(identity_matrix(r, n));
+  for (std::size_t i = 1; i <= s; ++i) {
+    pw.push_back(mat_mul(r, pw.back(), a, strategy));
+  }
+
+  // Horner over A^s: result = sum_k Block_k(A) * (A^s)^k.
+  const std::size_t blocks = (coeffs.size() + s - 1) / s;
+  Matrix<R> acc = zero_matrix(r, n, n);
+  for (std::size_t blk = blocks; blk-- > 0;) {
+    if (blk + 1 < blocks) acc = mat_mul(r, acc, pw[s], strategy);
+    for (std::size_t j = 0; j < s; ++j) {
+      const std::size_t idx = blk * s + j;
+      if (idx >= coeffs.size() || r.eq(coeffs[idx], r.zero())) continue;
+      // acc += coeffs[idx] * A^j
+      for (std::size_t e = 0; e < acc.data().size(); ++e) {
+        acc.data()[e] = r.add(acc.data()[e], r.mul(coeffs[idx], pw[j].data()[e]));
+      }
+    }
+  }
+  return acc;
+}
+
+}  // namespace kp::matrix

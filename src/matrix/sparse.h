@@ -1,0 +1,119 @@
+// Compressed-sparse-row matrices.
+//
+// Wiedemann's method (section 2 of the paper, after Wiedemann 1986) is the
+// black-box algorithm of choice for sparse systems: its cost is 2n
+// matrix-vector products plus O(n^2) dot products.  CSR provides the
+// O(nnz) product the sparse experiments rely on.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "matrix/dense.h"
+#include "util/prng.h"
+
+namespace kp::matrix {
+
+/// CSR sparse matrix over a ring.
+template <kp::field::CommutativeRing R>
+class Sparse {
+ public:
+  using Element = typename R::Element;
+
+  /// COO triplet used for construction.
+  struct Entry {
+    std::size_t row, col;
+    Element value;
+  };
+
+  Sparse(const R& r, std::size_t rows, std::size_t cols,
+         std::vector<Entry> entries)
+      : rows_(rows), cols_(cols) {
+    // Counting sort by row into CSR arrays; duplicate positions are summed.
+    std::vector<std::size_t> count(rows + 1, 0);
+    for (const auto& e : entries) {
+      assert(e.row < rows && e.col < cols);
+      ++count[e.row + 1];
+    }
+    for (std::size_t i = 0; i < rows; ++i) count[i + 1] += count[i];
+    row_ptr_ = count;
+    col_.resize(entries.size());
+    val_.resize(entries.size(), r.zero());
+    std::vector<std::size_t> next = row_ptr_;
+    for (auto& e : entries) {
+      const std::size_t slot = next[e.row]++;
+      col_[slot] = e.col;
+      val_[slot] = std::move(e.value);
+    }
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t nnz() const { return col_.size(); }
+
+  /// y = A x in O(nnz) ring operations.
+  std::vector<Element> apply(const R& r, const std::vector<Element>& x) const {
+    assert(x.size() == cols_);
+    std::vector<Element> y(rows_, r.zero());
+    for (std::size_t i = 0; i < rows_; ++i) {
+      auto acc = r.zero();
+      for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+        acc = r.add(acc, r.mul(val_[k], x[col_[k]]));
+      }
+      y[i] = std::move(acc);
+    }
+    return y;
+  }
+
+  /// y = A^T x in O(nnz) ring operations.
+  std::vector<Element> apply_transpose(const R& r,
+                                       const std::vector<Element>& x) const {
+    assert(x.size() == rows_);
+    std::vector<Element> y(cols_, r.zero());
+    for (std::size_t i = 0; i < rows_; ++i) {
+      for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+        y[col_[k]] = r.add(y[col_[k]], r.mul(val_[k], x[i]));
+      }
+    }
+    return y;
+  }
+
+  Matrix<R> to_dense(const R& r) const {
+    Matrix<R> out(rows_, cols_, r.zero());
+    for (std::size_t i = 0; i < rows_; ++i) {
+      for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+        out.at(i, col_[k]) = r.add(out.at(i, col_[k]), val_[k]);
+      }
+    }
+    return out;
+  }
+
+  /// Random square sparse matrix with ~nnz_per_row nonzeros per row plus a
+  /// random nonzero diagonal (which keeps it nonsingular with decent odds).
+  template <kp::field::Field F = R>
+  static Sparse random(const F& f, std::size_t n, std::size_t nnz_per_row,
+                       kp::util::Prng& prng, bool nonzero_diagonal = true) {
+    std::vector<Entry> entries;
+    entries.reserve(n * (nnz_per_row + 1));
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t k = 0; k < nnz_per_row; ++k) {
+        entries.push_back({i, prng.below(n), f.random(prng)});
+      }
+      if (nonzero_diagonal) {
+        auto d = f.random(prng);
+        while (f.eq(d, f.zero())) d = f.random(prng);
+        entries.push_back({i, i, std::move(d)});
+      }
+    }
+    return Sparse(f, n, n, std::move(entries));
+  }
+
+ private:
+  std::size_t rows_, cols_;
+  std::vector<std::size_t> row_ptr_;
+  std::vector<std::size_t> col_;
+  std::vector<Element> val_;
+};
+
+}  // namespace kp::matrix

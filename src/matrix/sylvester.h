@@ -1,0 +1,85 @@
+// Sylvester matrices -- the structured-matrix extension of section 5.
+//
+// The paper notes that the Toeplitz machinery "extends to structured
+// Toeplitz-like matrices such as Sylvester matrices", giving parallel
+// polynomial GCD and Euclidean-scheme computations.  The Sylvester matrix
+// S(f, g) of f (degree df) and g (degree dg) is the (df+dg) x (df+dg)
+// matrix whose transpose maps coefficient vectors (u, v) with deg u < dg,
+// deg v < df to the coefficients of u*f + v*g:
+//
+//   det S = Res(f, g),   dim ker S = deg gcd(f, g).
+//
+// Products with S (and its transpose) are two polynomial multiplications,
+// O(M(n)) -- the "Toeplitz-like" structure the paper exploits.
+#pragma once
+
+#include <cassert>
+#include <vector>
+
+#include "matrix/dense.h"
+#include "poly/poly.h"
+
+namespace kp::matrix {
+
+/// Sylvester matrix of two non-zero polynomials.
+template <kp::field::Field F>
+class Sylvester {
+ public:
+  using Element = typename F::Element;
+  using Poly = typename kp::poly::PolyRing<F>::Element;
+
+  Sylvester(const kp::poly::PolyRing<F>& ring, Poly f, Poly g)
+      : ring_(&ring), f_(std::move(f)), g_(std::move(g)) {
+    assert(!f_.empty() && !g_.empty() && "Sylvester matrix needs non-zero inputs");
+  }
+
+  std::size_t df() const { return f_.size() - 1; }
+  std::size_t dg() const { return g_.size() - 1; }
+  std::size_t dim() const { return df() + dg(); }
+  const Poly& f() const { return f_; }
+  const Poly& g() const { return g_; }
+
+  /// Row-major dense form, in the classical layout: the first dg rows are
+  /// the shifted coefficients of f (high to low), the last df rows those of
+  /// g; column j corresponds to the coefficient of x^{dim-1-j}.
+  Matrix<F> to_dense(const F& fld) const {
+    const std::size_t n = dim();
+    Matrix<F> out(n, n, fld.zero());
+    for (std::size_t r = 0; r < dg(); ++r) {
+      for (std::size_t i = 0; i <= df(); ++i) {
+        out.at(r, r + i) = f_[df() - i];
+      }
+    }
+    for (std::size_t r = 0; r < df(); ++r) {
+      for (std::size_t i = 0; i <= dg(); ++i) {
+        out.at(dg() + r, r + i) = g_[dg() - i];
+      }
+    }
+    return out;
+  }
+
+  /// S^T * (u | v) = coefficients of u*f + v*g, as two polynomial products.
+  /// Input: u has dg entries (coeff of x^{dg-1} first), v has df entries;
+  /// output: df+dg entries (coeff of x^{df+dg-1} first), matching to_dense.
+  std::vector<Element> apply_transpose(const std::vector<Element>& uv) const {
+    assert(uv.size() == dim());
+    const F& fld = ring_->base();
+    // Unpack into little-endian polynomials.
+    Poly u(dg());
+    for (std::size_t i = 0; i < dg(); ++i) u[i] = uv[dg() - 1 - i];
+    Poly v(df());
+    for (std::size_t i = 0; i < df(); ++i) v[i] = uv[dim() - 1 - i];
+    ring_->strip(u);
+    ring_->strip(v);
+    const auto h = ring_->add(ring_->mul(u, f_), ring_->mul(v, g_));
+    std::vector<Element> out(dim(), fld.zero());
+    for (std::size_t i = 0; i < dim(); ++i) out[i] = ring_->coeff(h, dim() - 1 - i);
+    return out;
+  }
+
+ private:
+  const kp::poly::PolyRing<F>* ring_;
+  Poly f_, g_;
+};
+
+}  // namespace kp::matrix

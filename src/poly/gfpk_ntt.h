@@ -1,0 +1,95 @@
+// Fast polynomial multiplication over extension fields GF(p^k) by
+// integer packing ("Kronecker substitution to Z, then a word-sized NTT").
+//
+// The paper's small-characteristic results assume a quasi-linear
+// polynomial-multiplication black box over ANY algebra (Cantor-Kaltofen).
+// For GF(p^k) with small p this kernel provides it:
+//
+//   1. each GF(p^k) coefficient is a length-k vector over Z/pZ; pack the
+//      whole bivariate object into ONE integer polynomial, inner blocks of
+//      width L = 2k-1 (inner products never overflow a block);
+//   2. multiply over Z: every packed coefficient of the product is a sum of
+//      at most min(da,db)+1 cross terms of k inner products bounded by
+//      (p-1)^2 -- so as long as  n_out * k * (p-1)^2  <  q  for the NTT
+//      prime q, the integer product is recovered EXACTLY from a single
+//      NTT over Z/qZ;
+//   3. reduce blocks mod p, then mod the field modulus.
+//
+// Cost: O(n k log(nk)) word operations -- the quasi-linear bound the
+// complexity-(12) claims of section 5 need (bench_small_char measures the
+// effect).  The kernel reports the underlying NTT work to the op counters
+// through the Z/qZ field domain.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "field/gfpk.h"
+#include "field/zp.h"
+#include "poly/ntt.h"
+#include "poly/poly_ring.h"
+
+namespace kp::poly {
+
+template <>
+struct NttTraits<kp::field::GFpk> {
+  using F = kp::field::GFpk;
+  static constexpr bool kSupported = true;
+
+  /// Block width: inner (coefficient) products have degree <= 2k-2.
+  static std::size_t block(const F& f) { return 2 * f.k() - 1; }
+
+  static bool available(const F& f, std::size_t out_len) {
+    const std::uint64_t p = f.p();
+    const std::uint64_t q = kp::field::kNttPrime;
+    // Exactness: packed coefficients < out_len * k * (p-1)^2 must fit mod q.
+    const unsigned __int128 bound = static_cast<unsigned __int128>(out_len) *
+                                    f.k() * (p - 1) * (p - 1);
+    if (bound >= q) return false;
+    // NTT capacity for the packed length.
+    std::size_t packed = out_len * block(f) + 1;
+    std::size_t n = 1;
+    int log_n = 0;
+    while (n < 2 * packed) {  // product length of packed polys
+      n <<= 1;
+      ++log_n;
+    }
+    return log_n <= detail::two_adicity(q);
+  }
+
+  static std::vector<typename F::Element> mul(
+      const F& f, const std::vector<typename F::Element>& a,
+      const std::vector<typename F::Element>& b) {
+    const std::uint64_t p = f.p();
+    const std::size_t L = block(f);
+    kp::field::GFp zq(kp::field::kNttPrime);
+
+    auto pack = [&](const std::vector<typename F::Element>& v) {
+      std::vector<std::uint64_t> out(v.size() * L, 0);
+      for (std::size_t i = 0; i < v.size(); ++i) {
+        for (std::size_t c = 0; c < f.k(); ++c) out[i * L + c] = v[i][c];
+      }
+      while (!out.empty() && out.back() == 0) out.pop_back();
+      return out;
+    };
+    const auto pa = pack(a);
+    const auto pb = pack(b);
+    const std::size_t out_len = a.size() + b.size() - 1;
+    std::vector<typename F::Element> out(out_len, f.zero());
+    if (pa.empty() || pb.empty()) return out;
+
+    const auto prod = ntt_mul_prime_field(zq, pa, pb);
+
+    for (std::size_t i = 0; i < out_len; ++i) {
+      std::vector<std::uint64_t> chunk(L, 0);
+      const std::size_t base = i * L;
+      for (std::size_t c = 0; c < L && base + c < prod.size(); ++c) {
+        chunk[c] = prod[base + c] % p;
+      }
+      out[i] = f.reduce_coeffs(std::move(chunk));
+    }
+    return out;
+  }
+};
+
+}  // namespace kp::poly

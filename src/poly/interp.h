@@ -1,0 +1,61 @@
+// Polynomial evaluation and interpolation.
+//
+// The transposed-Vandermonde application in section 4 of the paper relates
+// transposed-system solving to interpolation; these routines provide both
+// directions (multipoint evaluation = Vandermonde * coeffs, interpolation =
+// Vandermonde^{-1} * values) as the reference the circuit transform is
+// checked against.
+#pragma once
+
+#include <cassert>
+#include <vector>
+
+#include "field/concepts.h"
+#include "poly/poly_ring.h"
+
+namespace kp::poly {
+
+/// Evaluates a at every point; O(n * k) Horner steps.
+template <kp::field::Field F>
+std::vector<typename F::Element> multipoint_eval(
+    const PolyRing<F>& ring, const typename PolyRing<F>::Element& a,
+    const std::vector<typename F::Element>& points) {
+  std::vector<typename F::Element> out;
+  out.reserve(points.size());
+  for (const auto& x : points) out.push_back(ring.eval(a, x));
+  return out;
+}
+
+/// Newton-form interpolation through (points[i], values[i]); the points must
+/// be pairwise distinct.  Returns the unique polynomial of degree < n.
+template <kp::field::Field F>
+typename PolyRing<F>::Element interpolate(
+    const PolyRing<F>& ring, const std::vector<typename F::Element>& points,
+    const std::vector<typename F::Element>& values) {
+  assert(points.size() == values.size());
+  const F& f = ring.base();
+  const std::size_t n = points.size();
+  if (n == 0) return ring.zero();
+
+  // Divided differences.
+  std::vector<typename F::Element> dd = values;
+  for (std::size_t level = 1; level < n; ++level) {
+    for (std::size_t i = n - 1; i >= level; --i) {
+      const auto denom = f.sub(points[i], points[i - level]);
+      assert(!f.eq(denom, f.zero()) && "interpolation points must be distinct");
+      dd[i] = f.div(f.sub(dd[i], dd[i - 1]), denom);
+    }
+  }
+
+  // Assemble sum_k dd[k] * prod_{j<k} (x - points[j]) by Horner from the top.
+  typename PolyRing<F>::Element acc{dd[n - 1]};
+  ring.strip(acc);
+  for (std::size_t k = n - 1; k-- > 0;) {
+    // acc <- acc * (x - points[k]) + dd[k]
+    typename PolyRing<F>::Element factor{f.neg(points[k]), f.one()};
+    acc = ring.add(ring.mul(acc, factor), typename PolyRing<F>::Element{dd[k]});
+  }
+  return acc;
+}
+
+}  // namespace kp::poly

@@ -1,0 +1,147 @@
+// Number-theoretic transform over prime fields with 2-adic roots of unity.
+//
+// Plays the role of the Cantor-Kaltofen fast polynomial multiplication black
+// box of the paper for the common case K = Z/pZ with 2^k | p-1.  All
+// butterflies go through the field domain, so NTT work is measured in the
+// same unit cost model as everything else.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "field/primes.h"
+#include "field/zp.h"
+#include "poly/poly_ring.h"
+
+namespace kp::poly {
+
+namespace detail {
+
+/// Largest k with 2^k | p - 1.
+inline int two_adicity(std::uint64_t p) {
+  std::uint64_t m = p - 1;
+  int k = 0;
+  while ((m & 1) == 0) {
+    m >>= 1;
+    ++k;
+  }
+  return k;
+}
+
+/// Cached primitive root per modulus (root search factors p-1, so cache it).
+inline std::uint64_t cached_primitive_root(std::uint64_t p) {
+  thread_local std::unordered_map<std::uint64_t, std::uint64_t> cache;
+  auto it = cache.find(p);
+  if (it != cache.end()) return it->second;
+  const std::uint64_t g = kp::field::primitive_root(p);
+  cache.emplace(p, g);
+  return g;
+}
+
+/// In-place iterative radix-2 NTT.  `w_int` must be a primitive n-th root of
+/// unity mod p where n = a.size() is a power of two.  Twiddle factors are
+/// precomputed as INTEGER powers and injected with from_int: they are
+/// constants of the computation, so a recorded circuit gets O(log n) depth
+/// (a running twiddle product would be an O(n)-deep dependency chain).
+/// Butterfly arithmetic goes through the field domain and is op-counted.
+template <class F>
+void ntt_inplace(const F& f, std::vector<typename F::Element>& a,
+                 std::uint64_t w_int, std::uint64_t p) {
+  const std::size_t n = a.size();
+  assert((n & (n - 1)) == 0 && "NTT size must be a power of two");
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  // Twiddle table: tw[k] = w^k for k < n/2, as field constants.
+  std::vector<typename F::Element> tw;
+  tw.reserve(n / 2 + 1);
+  std::uint64_t acc = 1;
+  for (std::size_t k = 0; k < std::max<std::size_t>(n / 2, 1); ++k) {
+    tw.push_back(f.from_int(static_cast<std::int64_t>(acc)));
+    acc = kp::field::detail::mulmod(acc, w_int, p);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const std::size_t step = n / len;
+    for (std::size_t i = 0; i < n; i += len) {
+      for (std::size_t j = 0; j < len / 2; ++j) {
+        const auto u = a[i + j];
+        const auto v = f.mul(a[i + j + len / 2], tw[j * step]);
+        a[i + j] = f.add(u, v);
+        a[i + j + len / 2] = f.sub(u, v);
+      }
+    }
+  }
+}
+
+}  // namespace detail
+
+/// NTT-based multiplication over any domain whose characteristic() is a
+/// word-sized prime p with 2^ceil(log2(out_len)) | p - 1.  The roots of
+/// unity are computed as integers and injected with from_int, so this works
+/// for concrete prime fields AND for the symbolic CircuitBuilderField
+/// (producing NTT-structured circuits over a fixed target field).
+template <class F>
+std::vector<typename F::Element> ntt_mul_prime_field(
+    const F& f, const std::vector<typename F::Element>& a,
+    const std::vector<typename F::Element>& b) {
+  const std::size_t out_len = a.size() + b.size() - 1;
+  std::size_t n = 1;
+  while (n < out_len) n <<= 1;
+  const std::uint64_t p = f.characteristic();
+  assert(p != 0 && (p - 1) % n == 0 && "field lacks a root of unity of required order");
+
+  const std::uint64_t g = detail::cached_primitive_root(p);
+  const std::uint64_t w = kp::field::detail::powmod(g, (p - 1) / n, p);
+
+  std::vector<typename F::Element> fa(a);
+  std::vector<typename F::Element> fb(b);
+  fa.resize(n, f.zero());
+  fb.resize(n, f.zero());
+  detail::ntt_inplace(f, fa, w, p);
+  detail::ntt_inplace(f, fb, w, p);
+  for (std::size_t i = 0; i < n; ++i) fa[i] = f.mul(fa[i], fb[i]);
+  const std::uint64_t w_inv = kp::field::detail::invmod(w, p);
+  detail::ntt_inplace(f, fa, w_inv, p);
+  const auto n_inv = f.inv(f.from_int(static_cast<std::int64_t>(n)));
+  for (auto& c : fa) c = f.mul(c, n_inv);
+  fa.resize(out_len);
+  return fa;
+}
+
+namespace detail {
+
+template <class F>
+struct PrimeFieldNttTraits {
+  static constexpr bool kSupported = true;
+  static bool available(const F& f, std::size_t out_len) {
+    std::size_t n = 1;
+    int log_n = 0;
+    while (n < out_len) {
+      n <<= 1;
+      ++log_n;
+    }
+    return log_n <= two_adicity(f.characteristic());
+  }
+  static std::vector<typename F::Element> mul(
+      const F& f, const std::vector<typename F::Element>& a,
+      const std::vector<typename F::Element>& b) {
+    return ntt_mul_prime_field(f, a, b);
+  }
+};
+
+}  // namespace detail
+
+template <std::uint64_t P>
+struct NttTraits<kp::field::Zp<P>>
+    : detail::PrimeFieldNttTraits<kp::field::Zp<P>> {};
+
+template <>
+struct NttTraits<kp::field::GFp> : detail::PrimeFieldNttTraits<kp::field::GFp> {};
+
+}  // namespace kp::poly

@@ -1,0 +1,11 @@
+// Umbrella header for the polynomial substrate.  Include this (rather than
+// poly_ring.h directly) so every translation unit sees the same set of
+// NttTraits specializations.
+#pragma once
+
+#include "poly/ntt.h"        // IWYU pragma: export
+#include "poly/poly_ring.h"  // IWYU pragma: export
+#include "poly/series.h"     // IWYU pragma: export
+#include "poly/interp.h"     // IWYU pragma: export
+#include "poly/trunc_series.h"  // IWYU pragma: export
+#include "poly/gfpk_ntt.h"   // IWYU pragma: export

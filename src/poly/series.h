@@ -1,0 +1,97 @@
+// Truncated power series arithmetic over a field: Newton inversion,
+// logarithm, and exponential.
+//
+// These are the primitives behind (a) the Newton iteration (3) on
+// T(lambda) = I - lambda*T in section 3 (the expansion of 1/u_1(lambda) "is
+// accomplished by multiplying each entry with the power series inverse"),
+// and (b) the quasi-linear Leverrier solver (Schoenhage '82): the
+// characteristic polynomial is recovered from the power sums via
+// exp(-sum s_i lambda^i / i).  exp/log divide by 1..k, hence the paper's
+// characteristic restriction.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+#include "field/concepts.h"
+#include "poly/poly_ring.h"
+
+namespace kp::poly {
+
+/// Antiderivative with zero constant term, truncated to x^prec.
+/// Divides by 1..deg+1: requires characteristic 0 or > prec.
+template <kp::field::Field F>
+typename PolyRing<F>::Element series_integrate(const PolyRing<F>& ring,
+                                               const typename PolyRing<F>::Element& a,
+                                               std::size_t prec) {
+  const F& f = ring.base();
+  typename PolyRing<F>::Element out(std::min(a.size() + 1, prec), f.zero());
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    out[i] = f.div(a[i - 1], f.from_int(static_cast<std::int64_t>(i)));
+  }
+  ring.strip(out);
+  return out;
+}
+
+/// Inverse of a as a power series mod x^prec; requires a(0) invertible.
+/// Newton iteration: g <- g * (2 - a*g), doubling precision each step.
+template <kp::field::Field F>
+typename PolyRing<F>::Element series_inverse(const PolyRing<F>& ring,
+                                             const typename PolyRing<F>::Element& a,
+                                             std::size_t prec) {
+  const F& f = ring.base();
+  assert(!a.empty() && !f.eq(a[0], f.zero()) &&
+         "power series inverse needs a unit constant term");
+  typename PolyRing<F>::Element g{f.inv(a[0])};
+  for (std::size_t k = 1; k < prec;) {
+    k = std::min(2 * k, prec);
+    // g <- g*(2 - a*g) mod x^k
+    auto ag = ring.truncate(ring.mul(ring.truncate(a, k), g), k);
+    auto two_minus = ring.sub(ring.from_int(2), ag);
+    g = ring.truncate(ring.mul(g, two_minus), k);
+  }
+  return g;
+}
+
+/// a / b as power series mod x^prec (b(0) must be a unit).
+template <kp::field::Field F>
+typename PolyRing<F>::Element series_div(const PolyRing<F>& ring,
+                                         const typename PolyRing<F>::Element& a,
+                                         const typename PolyRing<F>::Element& b,
+                                         std::size_t prec) {
+  return ring.truncate(ring.mul(ring.truncate(a, prec), series_inverse(ring, b, prec)),
+                       prec);
+}
+
+/// log(a) mod x^prec for a with a(0) = 1: integrate(a'/a).
+template <kp::field::Field F>
+typename PolyRing<F>::Element series_log(const PolyRing<F>& ring,
+                                         const typename PolyRing<F>::Element& a,
+                                         std::size_t prec) {
+  [[maybe_unused]] const F& f = ring.base();
+  // a(0) must be 1; only unit-ness is checkable for symbolic fields, where
+  // element equality is undecidable.
+  assert(!a.empty() && !f.is_zero(a[0]) && "series_log needs a(0) = 1");
+  auto ratio = series_div(ring, ring.derivative(a), a, prec == 0 ? 0 : prec - 1);
+  return series_integrate(ring, ratio, prec);
+}
+
+/// exp(h) mod x^prec for h with h(0) = 0.
+/// Newton iteration: g <- g * (1 + h - log g), doubling precision.
+template <kp::field::Field F>
+typename PolyRing<F>::Element series_exp(const PolyRing<F>& ring,
+                                         const typename PolyRing<F>::Element& h,
+                                         std::size_t prec) {
+  [[maybe_unused]] const F& f = ring.base();
+  assert((h.empty() || f.eq(h[0], f.zero())) && "series_exp needs h(0) = 0");
+  typename PolyRing<F>::Element g = ring.one();
+  for (std::size_t k = 1; k < prec;) {
+    k = std::min(2 * k, prec);
+    auto correction =
+        ring.add(ring.sub(ring.truncate(h, k), series_log(ring, g, k)), ring.one());
+    g = ring.truncate(ring.mul(g, correction), k);
+  }
+  return ring.truncate(g, prec);
+}
+
+}  // namespace kp::poly

@@ -1,0 +1,67 @@
+// Shared-memory parallel execution of independent iterations.
+//
+// The paper's model is an algebraic PRAM; this library reproduces its
+// *depth* claims exactly through the circuit framework (circuit/), and uses
+// this thread pool to actually exploit whatever hardware parallelism exists
+// for embarrassingly parallel work: Monte Carlo probability sweeps,
+// independent matrix rows, multiple bench configurations.  On a single-core
+// host it degrades to the serial loop.
+//
+// Determinism contract: iterations must be independent and derive any
+// randomness from their own index (seed-per-index), so results are
+// identical for every thread count.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace kp::pram {
+
+/// Number of workers parallel_for will use (hardware concurrency, >= 1).
+inline unsigned worker_count() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+/// Runs fn(i) for i in [begin, end) across the available hardware threads.
+/// Blocks until every iteration finished.  fn must not throw.
+inline void parallel_for(std::size_t begin, std::size_t end,
+                         const std::function<void(std::size_t)>& fn,
+                         unsigned max_workers = 0) {
+  const std::size_t count = end > begin ? end - begin : 0;
+  if (count == 0) return;
+  unsigned workers = max_workers == 0 ? worker_count() : max_workers;
+  if (workers > count) workers = static_cast<unsigned>(count);
+  if (workers <= 1) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  // Static block partition: iterations are assumed comparable in cost
+  // (Monte Carlo trials, rows); blocks avoid false sharing of counters.
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  const std::size_t chunk = (count + workers - 1) / workers;
+  for (unsigned w = 0; w < workers; ++w) {
+    const std::size_t lo = begin + static_cast<std::size_t>(w) * chunk;
+    const std::size_t hi = std::min(end, lo + chunk);
+    if (lo >= hi) break;
+    pool.emplace_back([lo, hi, &fn] {
+      for (std::size_t i = lo; i < hi; ++i) fn(i);
+    });
+  }
+  for (auto& th : pool) th.join();
+}
+
+/// Map over [0, n) into a result vector (each slot written by exactly one
+/// iteration).
+template <class T, class Fn>
+std::vector<T> parallel_map(std::size_t n, Fn&& fn, unsigned max_workers = 0) {
+  std::vector<T> out(n);
+  parallel_for(
+      0, n, [&](std::size_t i) { out[i] = fn(i); }, max_workers);
+  return out;
+}
+
+}  // namespace kp::pram

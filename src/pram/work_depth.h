@@ -1,0 +1,60 @@
+// Work/depth accounting for direct (non-circuit) implementations.
+//
+// The circuit framework measures the depth of *recorded* programs exactly;
+// this tracker lets a direct implementation annotate its parallel structure
+// so benches can report a work/span estimate without building circuits:
+//
+//   WorkDepth wd;
+//   wd.parallel_region(rows, per_row_ops, per_row_depth);  // rows in parallel
+//   wd.sequential(ops);                                     // a serial stage
+//
+// span() is then the critical-path estimate in field operations (the
+// paper's time unit with unbounded processors), work() the total count.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace kp::pram {
+
+class WorkDepth {
+ public:
+  /// k independent tasks, each of the given work and depth: work adds
+  /// k * task_work, span adds only task_depth.
+  void parallel_region(std::uint64_t k, std::uint64_t task_work,
+                       std::uint64_t task_depth) {
+    work_ += k * task_work;
+    span_ += task_depth;
+  }
+
+  /// A sequential stage: contributes equally to work and span.
+  void sequential(std::uint64_t ops) {
+    work_ += ops;
+    span_ += ops;
+  }
+
+  /// Two tracked computations running side by side: work adds, span maxes.
+  void merge_parallel(const WorkDepth& other) {
+    work_ += other.work_;
+    span_ = std::max(span_, other.span_);
+  }
+
+  /// One after the other: both add.
+  void merge_sequential(const WorkDepth& other) {
+    work_ += other.work_;
+    span_ += other.span_;
+  }
+
+  std::uint64_t work() const { return work_; }
+  std::uint64_t span() const { return span_; }
+  /// The implied processor count for Brent-style scheduling.
+  double parallelism() const {
+    return span_ == 0 ? 0.0 : static_cast<double>(work_) / static_cast<double>(span_);
+  }
+
+ private:
+  std::uint64_t work_ = 0;
+  std::uint64_t span_ = 0;
+};
+
+}  // namespace kp::pram

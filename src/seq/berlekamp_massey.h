@@ -1,0 +1,71 @@
+// The Berlekamp-Massey algorithm over an arbitrary field.
+//
+// Given 2m terms of a sequence whose minimum polynomial has degree <= m,
+// Berlekamp-Massey recovers that polynomial in O(n * deg) field operations.
+// This is the paper's sequential route to the generating polynomial ("the
+// best method is the Berlekamp-Massey algorithm"); the parallel route via
+// Toeplitz systems is in seq/newton_toeplitz.h, and the two are checked
+// against each other.
+#pragma once
+
+#include <cassert>
+#include <vector>
+
+#include "field/concepts.h"
+
+namespace kp::seq {
+
+/// Returns the monic minimum polynomial (little-endian coefficients) of the
+/// shortest linear recurrence generating the given sequence prefix.  With at
+/// least 2*deg(minpoly) terms the result is the true minimum polynomial of
+/// the infinite sequence.
+template <kp::field::Field F>
+std::vector<typename F::Element> berlekamp_massey(
+    const F& f, const std::vector<typename F::Element>& seq) {
+  using E = typename F::Element;
+  // Connection polynomial C(x) = 1 + c_1 x + ... + c_L x^L with
+  // s_j = -(c_1 s_{j-1} + ... + c_L s_{j-L}).
+  std::vector<E> c{f.one()};  // current connection polynomial
+  std::vector<E> b{f.one()};  // previous connection polynomial
+  std::size_t l = 0;          // current LFSR length
+  std::size_t m = 1;          // steps since b was current
+  E delta_b = f.one();        // discrepancy when b was last updated
+
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    // Discrepancy d = s_i + sum_{k=1..l} c_k s_{i-k}.
+    E d = seq[i];
+    for (std::size_t k = 1; k <= l && k <= i; ++k) {
+      if (k < c.size()) d = f.add(d, f.mul(c[k], seq[i - k]));
+    }
+    if (f.eq(d, f.zero())) {
+      ++m;
+      continue;
+    }
+    const std::vector<E> t = c;  // save before modification
+    // c(x) -= (d / delta_b) * x^m * b(x)
+    const E coef = f.div(d, delta_b);
+    if (c.size() < b.size() + m) c.resize(b.size() + m, f.zero());
+    for (std::size_t k = 0; k < b.size(); ++k) {
+      c[k + m] = f.sub(c[k + m], f.mul(coef, b[k]));
+    }
+    if (2 * l <= i) {
+      l = i + 1 - l;
+      b = t;
+      delta_b = d;
+      m = 1;
+    } else {
+      ++m;
+    }
+  }
+
+  // Convert the connection polynomial to the monic minimum polynomial:
+  // f(x) = x^L * C(1/x), i.e. reverse C within length L+1.
+  std::vector<E> out(l + 1, f.zero());
+  for (std::size_t k = 0; k <= l; ++k) {
+    out[l - k] = k < c.size() ? c[k] : f.zero();
+  }
+  assert(f.eq(out[l], f.one()));
+  return out;
+}
+
+}  // namespace kp::seq

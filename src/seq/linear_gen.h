@@ -1,0 +1,113 @@
+// Linearly generated sequences (section 2 of the paper).
+//
+// A sequence {a_i} over K is linearly generated when some non-zero
+// polynomial c_0 + c_1 x + ... + c_n x^n annihilates it:
+// c_0 a_j + ... + c_n a_{j+n} = 0 for all j.  The monic generator of minimal
+// degree is the minimum polynomial.  Lemma 1 connects the minimum polynomial
+// to the Toeplitz matrices T_mu of the sequence: det(T_m) != 0 at the
+// minimal degree m, det(T_M) = 0 beyond it.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "field/concepts.h"
+#include "matrix/gauss.h"
+#include "matrix/structured.h"
+
+namespace kp::seq {
+
+/// True when the monic polynomial gen (little-endian, gen.back() != 0)
+/// generates the observed prefix: for every window,
+/// sum_i gen[i] * seq[j + i] = 0.
+template <kp::field::Field F>
+bool generates(const F& f, const std::vector<typename F::Element>& gen,
+               const std::vector<typename F::Element>& seq) {
+  assert(!gen.empty());
+  const std::size_t d = gen.size() - 1;
+  if (seq.size() < gen.size()) return true;  // no full window to falsify
+  for (std::size_t j = 0; j + d < seq.size(); ++j) {
+    auto acc = f.zero();
+    for (std::size_t i = 0; i <= d; ++i) {
+      acc = f.add(acc, f.mul(gen[i], seq[j + i]));
+    }
+    if (!f.eq(acc, f.zero())) return false;
+  }
+  return true;
+}
+
+/// Extends a sequence prefix using a monic generator of degree d:
+/// seq[j + d] = -sum_{i < d} gen[i] * seq[j + i].  The prefix must have at
+/// least d terms.
+template <kp::field::Field F>
+std::vector<typename F::Element> extend(const F& f,
+                                        const std::vector<typename F::Element>& gen,
+                                        std::vector<typename F::Element> seq,
+                                        std::size_t total_len) {
+  const std::size_t d = gen.size() - 1;
+  assert(seq.size() >= d && "prefix shorter than the generator degree");
+  assert(f.eq(gen.back(), f.one()) && "generator must be monic");
+  while (seq.size() < total_len) {
+    auto acc = f.zero();
+    const std::size_t j = seq.size() - d;
+    for (std::size_t i = 0; i < d; ++i) {
+      acc = f.add(acc, f.mul(gen[i], seq[j + i]));
+    }
+    seq.push_back(f.neg(acc));
+  }
+  return seq;
+}
+
+/// The sequence {u A^i v} of a monic polynomial's companion matrix starting
+/// from arbitrary taps -- handy for building test sequences with a known
+/// minimum polynomial.
+template <kp::field::Field F>
+std::vector<typename F::Element> sequence_with_minpoly(
+    const F& f, const std::vector<typename F::Element>& minpoly,
+    const std::vector<typename F::Element>& seed, std::size_t total_len) {
+  assert(seed.size() + 1 == minpoly.size());
+  return extend(f, minpoly, seed, total_len);
+}
+
+/// Lemma 1's Toeplitz matrix T_mu of a sequence (needs seq[0 .. 2mu-2]).
+template <kp::field::Field F>
+matrix::Matrix<F> lemma1_toeplitz(const F& f,
+                                  const std::vector<typename F::Element>& seq,
+                                  std::size_t mu) {
+  return matrix::Toeplitz<F>::from_sequence(mu, seq).to_dense(f);
+}
+
+/// Minimum polynomial via Lemma 1: the minimal degree m is the largest mu
+/// with det(T_mu) != 0, and the low-order coefficients of the monic minimum
+/// polynomial solve T_m (c_{m-1}, ..., c_0)^T = (a_m, ..., a_{2m-1})^T.
+/// Deterministic O(n^3)-ish reference used to validate Berlekamp-Massey and
+/// the parallel Toeplitz route; seq must have >= 2*max_degree terms.
+template <kp::field::Field F>
+std::vector<typename F::Element> minpoly_by_lemma1(
+    const F& f, const std::vector<typename F::Element>& seq,
+    std::size_t max_degree) {
+  assert(seq.size() >= 2 * max_degree);
+  std::size_t m = 0;
+  for (std::size_t mu = max_degree; mu >= 1; --mu) {
+    if (!f.is_zero(matrix::det_gauss(f, lemma1_toeplitz(f, seq, mu)))) {
+      m = mu;
+      break;
+    }
+  }
+  if (m == 0) return {f.one()};  // the zero sequence: minimum polynomial 1
+
+  auto t = lemma1_toeplitz(f, seq, m);
+  std::vector<typename F::Element> rhs(seq.begin() + static_cast<std::ptrdiff_t>(m),
+                                       seq.begin() + static_cast<std::ptrdiff_t>(2 * m));
+  auto sol = matrix::solve_gauss(f, t, rhs);
+  assert(sol.has_value());
+  // sol = (c_{m-1}, ..., c_0); minimum polynomial x^m - c_{m-1} x^{m-1} - ... - c_0.
+  std::vector<typename F::Element> out(m + 1, f.zero());
+  out[m] = f.one();
+  for (std::size_t i = 0; i < m; ++i) out[m - 1 - i] = f.neg((*sol)[i]);
+  return out;
+}
+
+}  // namespace kp::seq

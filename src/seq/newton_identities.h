@@ -1,0 +1,113 @@
+// Leverrier's map: power sums -> characteristic polynomial coefficients.
+//
+// The paper (following Csanky '76 and Schoenhage '82) recovers
+//   Det(lambda I - T) = lambda^n - c_1 lambda^{n-1} - ... - c_n
+// from the power sums s_i = Trace(T^i) by solving the lower-triangular
+// Toeplitz Newton-identity system
+//
+//   [ 1              ] [c_1]   [s_1]
+//   [ s_1   2        ] [c_2]   [s_2]
+//   [ s_2   s_1  3   ] [c_3] = [s_3]
+//   [ ...            ] [...]   [...]
+//
+// which divides by 2, 3, ..., n -- the source of the characteristic
+// restriction in Theorems 3, 4, 6.  Two implementations are provided: the
+// classical O(n^2) forward substitution and the quasi-linear power-series
+// route p-hat = exp(-sum s_i lambda^i / i) (both ablated in the benches).
+#pragma once
+
+#include <cassert>
+#include <vector>
+
+#include "field/concepts.h"
+#include "poly/poly.h"
+
+namespace kp::seq {
+
+enum class NewtonIdentityMethod {
+  kTriangularSolve,  ///< classical O(n^2) forward substitution
+  kPowerSeriesExp,   ///< exp/log route, quasi-linear with fast poly mult
+};
+
+/// Given power sums s[1..n] (s[0] ignored/absent: pass s_i at index i-1),
+/// returns the monic characteristic polynomial, little-endian, of the matrix
+/// whose eigenvalue power sums these are.  Requires char(K) = 0 or > n.
+template <kp::field::Field F>
+std::vector<typename F::Element> charpoly_from_power_sums(
+    const F& f, const std::vector<typename F::Element>& s,
+    NewtonIdentityMethod method = NewtonIdentityMethod::kTriangularSolve) {
+  using E = typename F::Element;
+  const std::size_t n = s.size();
+  assert(kp::field::supports_leverrier(f, n) &&
+         "Leverrier divides by 2..n: characteristic must be 0 or > n");
+
+  // c_k in the paper's convention: char poly = x^n - c_1 x^{n-1} - ... - c_n.
+  std::vector<E> c(n + 1, f.zero());  // c[1..n]
+
+  if (method == NewtonIdentityMethod::kTriangularSolve) {
+    // k c_k = s_k - sum_{i=1}^{k-1} c_i s_{k-i}.
+    for (std::size_t k = 1; k <= n; ++k) {
+      E acc = s[k - 1];
+      for (std::size_t i = 1; i < k; ++i) {
+        acc = f.sub(acc, f.mul(c[i], s[k - i - 1]));
+      }
+      c[k] = f.div(acc, f.from_int(static_cast<std::int64_t>(k)));
+    }
+  } else {
+    // rev(charpoly) = prod (1 - lambda_j x) = exp(-sum_{i>=1} s_i x^i / i).
+    kp::poly::PolyRing<F> ring(f);
+    typename kp::poly::PolyRing<F>::Element h(n + 1, f.zero());
+    for (std::size_t i = 1; i <= n; ++i) {
+      h[i] = f.neg(f.div(s[i - 1], f.from_int(static_cast<std::int64_t>(i))));
+    }
+    ring.strip(h);
+    auto phat = kp::poly::series_exp(ring, h, n + 1);
+    // phat[k] is the coefficient of x^k in prod(1 - lambda_j x), and the
+    // monic char poly is its reversal; in the c-convention c_k = -phat[k].
+    for (std::size_t k = 1; k <= n; ++k) {
+      c[k] = f.neg(ring.coeff(phat, k));
+    }
+  }
+
+  // Assemble x^n - c_1 x^{n-1} - ... - c_n, little-endian.
+  std::vector<E> out(n + 1, f.zero());
+  out[n] = f.one();
+  for (std::size_t k = 1; k <= n; ++k) out[n - k] = f.neg(c[k]);
+  return out;
+}
+
+/// Power sums of the roots of a monic polynomial (the inverse map), used for
+/// round-trip property tests: s_k = Trace(Companion(p)^k).
+/// Computed by the reverse Newton identities without divisions.
+template <kp::field::Field F>
+std::vector<typename F::Element> power_sums_from_charpoly(
+    const F& f, const std::vector<typename F::Element>& monic, std::size_t count) {
+  using E = typename F::Element;
+  assert(!monic.empty() && f.eq(monic.back(), f.one()));
+  const std::size_t n = monic.size() - 1;
+  // e_k = (-1)^k * coefficient of x^{n-k}: the elementary symmetric funcs.
+  std::vector<E> e(n + 1, f.zero());
+  e[0] = f.one();
+  for (std::size_t k = 1; k <= n; ++k) {
+    e[k] = monic[n - k];
+    if (k % 2 == 1) e[k] = f.neg(e[k]);
+  }
+  // Newton: s_k = e_1 s_{k-1} - e_2 s_{k-2} + ... + (-1)^{k-1} k e_k  (k<=n)
+  //         s_k = e_1 s_{k-1} - e_2 s_{k-2} + ... +- e_n s_{k-n}      (k> n)
+  std::vector<E> s(count, f.zero());
+  for (std::size_t k = 1; k <= count; ++k) {
+    E acc = f.zero();
+    for (std::size_t i = 1; i <= std::min(k - 1, n); ++i) {
+      const E term = f.mul(e[i], s[k - i - 1]);
+      acc = (i % 2 == 1) ? f.add(acc, term) : f.sub(acc, term);
+    }
+    if (k <= n) {
+      E ke = f.mul(f.from_int(static_cast<std::int64_t>(k)), e[k]);
+      acc = (k % 2 == 1) ? f.add(acc, ke) : f.sub(acc, ke);
+    }
+    s[k - 1] = acc;
+  }
+  return s;
+}
+
+}  // namespace kp::seq

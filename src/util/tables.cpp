@@ -1,0 +1,75 @@
+#include "util/tables.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace kp::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> row) {
+  assert(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void Table::print() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    std::printf("|");
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      std::printf(" %-*s |", static_cast<int>(width[c]), row[c].c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(header_);
+  std::printf("|");
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    std::printf("%s|", std::string(width[c] + 2, '-').c_str());
+  }
+  std::printf("\n");
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string Table::num(double v, int digits) {
+  std::ostringstream os;
+  os.precision(digits);
+  os << v;
+  return os.str();
+}
+
+std::string Table::num(std::uint64_t v) {
+  std::string raw = std::to_string(v);
+  std::string out;
+  int count = 0;
+  for (auto it = raw.rbegin(); it != raw.rend(); ++it) {
+    if (count && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  return {out.rbegin(), out.rend()};
+}
+
+double fit_exponent(const std::vector<double>& xs, const std::vector<double>& ys) {
+  assert(xs.size() == ys.size() && xs.size() >= 2);
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  const double n = static_cast<double>(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double lx = std::log2(xs[i]);
+    const double ly = std::log2(ys[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+  }
+  return (n * sxy - sx * sy) / (n * sxx - sx * sx);
+}
+
+}  // namespace kp::util

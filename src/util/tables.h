@@ -1,0 +1,35 @@
+// Minimal fixed-width table printer used by the benchmark harnesses to emit
+// the rows/series each experiment reports (EXPERIMENTS.md records these).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace kp::util {
+
+/// Accumulates rows of string cells and prints them with aligned columns.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Adds one row; the row must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders the table (header, rule, rows) to stdout.
+  void print() const;
+
+  /// Formats a double with `digits` significant digits.
+  static std::string num(double v, int digits = 4);
+  /// Formats an integer with thousands separators.
+  static std::string num(std::uint64_t v);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Least-squares slope of log2(y) against log2(x): the measured growth
+/// exponent of a size/work series, reported next to the paper's bound.
+double fit_exponent(const std::vector<double>& xs, const std::vector<double>& ys);
+
+}  // namespace kp::util

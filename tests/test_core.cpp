@@ -1,0 +1,627 @@
+// Tests for the core pipeline: Krylov doubling (9), preconditioners
+// (Theorem 2), the Theorem-4 solver/determinant, Wiedemann's black-box
+// algorithms (section 2), the baselines (Csanky, Faddeev-LeVerrier,
+// Berkowitz, Chistov), and the section-5 extensions.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/annihilator.h"
+#include "core/baselines.h"
+#include "core/extensions.h"
+#include "core/field_lift.h"
+#include "core/krylov.h"
+#include "core/preconditioners.h"
+#include "core/small_char.h"
+#include "core/solver.h"
+#include "core/wiedemann.h"
+#include "field/gfpk.h"
+#include "field/rational.h"
+#include "field/zp.h"
+#include "matrix/blackbox.h"
+#include "matrix/gauss.h"
+#include "seq/newton_toeplitz.h"
+#include "util/prng.h"
+
+namespace kp {
+namespace {
+
+using field::BigInt;
+using field::GFpk;
+using field::Rational;
+using field::RationalField;
+using field::Zp;
+using matrix::Matrix;
+
+using F = Zp<1000003>;
+F f;
+
+Matrix<F> random_mat(std::size_t n, util::Prng& prng) {
+  return matrix::random_matrix(f, n, n, prng);
+}
+
+// ---------------------------------------------------------------------------
+// Krylov doubling.
+
+TEST(KrylovTest, BlockColumnsArePowers) {
+  util::Prng prng(1);
+  const std::size_t n = 7;
+  auto a = random_mat(n, prng);
+  std::vector<F::Element> v(n);
+  for (auto& e : v) e = f.random(prng);
+  for (std::size_t count : {1u, 2u, 3u, 7u, 14u}) {
+    auto block = core::krylov_block(f, a, v, count);
+    ASSERT_EQ(block.cols(), count);
+    auto w = v;
+    for (std::size_t j = 0; j < count; ++j) {
+      if (j) w = matrix::mat_vec(f, a, w);
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(block.at(i, j), w[i]) << "count=" << count << " col=" << j;
+      }
+    }
+  }
+}
+
+TEST(KrylovTest, DoublingMatchesIterative) {
+  util::Prng prng(2);
+  for (std::size_t n : {1u, 2u, 5u, 12u}) {
+    auto a = random_mat(n, prng);
+    std::vector<F::Element> u(n), v(n);
+    for (auto& e : u) e = f.random(prng);
+    for (auto& e : v) e = f.random(prng);
+    matrix::DenseBox<F> box(f, a);
+    EXPECT_EQ(core::krylov_sequence_doubling(f, a, u, v, 2 * n),
+              matrix::krylov_sequence_iterative(f, box, u, v, 2 * n))
+        << n;
+  }
+}
+
+TEST(KrylovTest, DoublingWithStrassen) {
+  util::Prng prng(3);
+  const std::size_t n = 9;
+  auto a = random_mat(n, prng);
+  std::vector<F::Element> u(n), v(n);
+  for (auto& e : u) e = f.random(prng);
+  for (auto& e : v) e = f.random(prng);
+  EXPECT_EQ(core::krylov_sequence_doubling(f, a, u, v, 2 * n,
+                                           matrix::MatMulStrategy::kStrassen),
+            core::krylov_sequence_doubling(f, a, u, v, 2 * n,
+                                           matrix::MatMulStrategy::kClassical));
+}
+
+// ---------------------------------------------------------------------------
+// Preconditioner (Theorem 2).
+
+TEST(PreconditionerTest, DenseProductMatchesExplicit) {
+  util::Prng prng(4);
+  poly::PolyRing<F> ring(f);
+  const std::size_t n = 8;
+  auto a = random_mat(n, prng);
+  auto pre = core::Preconditioner<F>::draw(f, n, prng, 1u << 20);
+  auto at = pre.apply_dense(f, ring, a);
+  auto expect = matrix::mat_mul(
+      f, a,
+      matrix::mat_mul(f, pre.hankel.to_dense(f), pre.diagonal.to_dense(f)));
+  EXPECT_TRUE(matrix::mat_eq(f, at, expect));
+}
+
+TEST(PreconditionerTest, DetMatchesGauss) {
+  util::Prng prng(5);
+  for (std::size_t n : {1u, 2u, 5u, 9u}) {
+    auto pre = core::Preconditioner<F>::draw(f, n, prng, 1u << 20);
+    auto expect = f.mul(matrix::det_gauss(f, pre.hankel.to_dense(f)),
+                        pre.diagonal.det(f));
+    EXPECT_EQ(pre.det(f), expect) << n;
+  }
+}
+
+TEST(PreconditionerTest, LeadingMinorsNonzeroWithHighProbability) {
+  // Theorem 2's guarantee, spot-checked: for a non-singular A and a large
+  // sample set, all leading principal minors of A*H are non-zero.
+  util::Prng prng(6);
+  poly::PolyRing<F> ring(f);
+  const std::size_t n = 7;
+  int successes = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    auto a = random_mat(n, prng);
+    if (f.is_zero(matrix::det_gauss(f, a))) continue;
+    auto h = matrix::Hankel<F>::random(f, n, prng, 1u << 20);
+    auto ah = matrix::mat_mul(f, a, h.to_dense(f));
+    bool all_nonzero = true;
+    for (std::size_t i = 1; i <= n; ++i) {
+      if (f.is_zero(matrix::det_gauss(f, matrix::leading_principal(f, ah, i)))) {
+        all_nonzero = false;
+        break;
+      }
+    }
+    successes += all_nonzero;
+  }
+  EXPECT_GE(successes, 19);  // bound: failure <= n(n-1)/2 / 2^20 per trial
+}
+
+// ---------------------------------------------------------------------------
+// Theorem-4 solver.
+
+TEST(SolverTest, SolveMatchesGauss) {
+  util::Prng prng(7);
+  for (std::size_t n : {1u, 2u, 4u, 8u, 13u, 20u}) {
+    auto a = random_mat(n, prng);
+    if (f.is_zero(matrix::det_gauss(f, a))) continue;
+    std::vector<F::Element> x(n);
+    for (auto& e : x) e = f.random(prng);
+    auto b = matrix::mat_vec(f, a, x);
+    auto res = core::kp_solve(f, a, b, prng);
+    ASSERT_TRUE(res.ok) << n;
+    EXPECT_EQ(res.x, x) << n;
+  }
+}
+
+TEST(SolverTest, DetMatchesGauss) {
+  util::Prng prng(8);
+  for (std::size_t n : {1u, 2u, 5u, 10u, 17u}) {
+    auto a = random_mat(n, prng);
+    auto res = core::kp_det(f, a, prng);
+    const auto expect = matrix::det_gauss(f, a);
+    if (f.is_zero(expect)) continue;  // singular: pipeline correctly fails
+    ASSERT_TRUE(res.ok) << n;
+    EXPECT_EQ(res.det, expect) << n;
+  }
+}
+
+TEST(SolverTest, DetAlsoReportedBySolve) {
+  util::Prng prng(9);
+  const std::size_t n = 9;
+  auto a = random_mat(n, prng);
+  std::vector<F::Element> b(n);
+  for (auto& e : b) e = f.random(prng);
+  auto res = core::kp_solve(f, a, b, prng);
+  ASSERT_TRUE(res.ok);
+  EXPECT_EQ(res.det, matrix::det_gauss(f, a));
+}
+
+TEST(SolverTest, CharpolyOfPreconditionedIsAnnihilating) {
+  // res.charpoly_at annihilates A-tilde; at minimum check degree and g0.
+  util::Prng prng(10);
+  const std::size_t n = 6;
+  auto a = random_mat(n, prng);
+  std::vector<F::Element> b(n);
+  for (auto& e : b) e = f.random(prng);
+  auto res = core::kp_solve(f, a, b, prng);
+  ASSERT_TRUE(res.ok);
+  EXPECT_EQ(res.charpoly_at.size(), n + 1);
+  EXPECT_EQ(res.charpoly_at[n], f.one());
+  EXPECT_FALSE(f.is_zero(res.charpoly_at[0]));
+}
+
+TEST(SolverTest, SingularInputReportsFailure) {
+  util::Prng prng(11);
+  const std::size_t n = 6;
+  // Rank-deficient A.
+  auto left = matrix::random_matrix(f, n, n - 2, prng);
+  auto right = matrix::random_matrix(f, n - 2, n, prng);
+  auto a = matrix::mat_mul(f, left, right);
+  std::vector<F::Element> b(n);
+  for (auto& e : b) e = f.random(prng);
+  auto res = core::kp_solve(f, a, b, prng);
+  EXPECT_FALSE(res.ok);
+}
+
+TEST(SolverTest, StrassenAndExpNewtonVariants) {
+  util::Prng prng(12);
+  const std::size_t n = 11;
+  auto a = random_mat(n, prng);
+  std::vector<F::Element> x(n);
+  for (auto& e : x) e = f.random(prng);
+  auto b = matrix::mat_vec(f, a, x);
+  core::SolverOptions opt;
+  opt.matmul = matrix::MatMulStrategy::kStrassen;
+  opt.newton = seq::NewtonIdentityMethod::kPowerSeriesExp;
+  auto res = core::kp_solve(f, a, b, prng, opt);
+  ASSERT_TRUE(res.ok);
+  EXPECT_EQ(res.x, x);
+}
+
+TEST(SolverTest, WorksOverRationals) {
+  RationalField q;
+  util::Prng prng(13);
+  const std::size_t n = 4;
+  Matrix<RationalField> a(n, n, q.zero());
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      a.at(i, j) = q.sample(prng, 64);
+    }
+  }
+  if (q.is_zero(matrix::det_gauss(q, a))) GTEST_SKIP();
+  std::vector<Rational> x{Rational(1), Rational(BigInt(1), BigInt(2)),
+                          Rational(-3), Rational(BigInt(2), BigInt(5))};
+  auto b = matrix::mat_vec(q, a, x);
+  auto res = core::kp_solve(q, a, b, prng);
+  ASSERT_TRUE(res.ok);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_TRUE(q.eq(res.x[i], x[i])) << i;
+  }
+  EXPECT_TRUE(q.eq(res.det, matrix::det_gauss(q, a)));
+}
+
+// ---------------------------------------------------------------------------
+// Wiedemann (section 2).
+
+TEST(WiedemannTest, MinpolyAnnihilatesMatrix) {
+  util::Prng prng(14);
+  const std::size_t n = 8;
+  auto a = random_mat(n, prng);
+  matrix::DenseBox<F> box(f, a);
+  auto mp = core::wiedemann_minpoly(f, box, prng, 1u << 20);
+  // mp divides the characteristic polynomial; check mp(A) v = 0 on a few
+  // random vectors (sufficient for this probabilistic check).
+  for (int trial = 0; trial < 3; ++trial) {
+    std::vector<F::Element> v(n);
+    for (auto& e : v) e = f.random(prng);
+    auto acc = std::vector<F::Element>(n, f.zero());
+    auto w = v;
+    for (std::size_t k = 0; k < mp.size(); ++k) {
+      if (k) w = matrix::mat_vec(f, a, w);
+      for (std::size_t i = 0; i < n; ++i) {
+        acc[i] = f.add(acc[i], f.mul(mp[k], w[i]));
+      }
+    }
+    EXPECT_EQ(acc, std::vector<F::Element>(n, f.zero()));
+  }
+}
+
+TEST(WiedemannTest, SolveSparseSystem) {
+  util::Prng prng(15);
+  const std::size_t n = 30;
+  auto sp = matrix::Sparse<F>::random(f, n, 3, prng);
+  matrix::SparseBox<F> box(f, sp);
+  std::vector<F::Element> x(n);
+  for (auto& e : x) e = f.random(prng);
+  auto b = sp.apply(f, x);
+  auto sol = core::wiedemann_solve(f, box, b, prng, 1u << 20);
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_EQ(sp.apply(f, *sol), b);
+}
+
+TEST(WiedemannTest, DetMatchesGauss) {
+  util::Prng prng(16);
+  for (std::size_t n : {2u, 5u, 9u, 15u}) {
+    auto a = random_mat(n, prng);
+    auto expect = matrix::det_gauss(f, a);
+    if (f.is_zero(expect)) continue;
+    auto res = core::wiedemann_det(f, a, prng, 1u << 20);
+    ASSERT_TRUE(res.ok) << n;
+    EXPECT_EQ(res.value, expect) << n;
+  }
+}
+
+TEST(WiedemannTest, SingularTestDetectsSingular) {
+  util::Prng prng(17);
+  const std::size_t n = 8;
+  // Singular: one row is a multiple of another.
+  auto a = random_mat(n, prng);
+  for (std::size_t j = 0; j < n; ++j) a.at(1, j) = f.mul(a.at(0, j), 7);
+  matrix::DenseBox<F> box(f, a);
+  EXPECT_TRUE(core::wiedemann_singular_test(f, box, prng, 1u << 20));
+  // Non-singular: never reports singular.
+  auto g = random_mat(n, prng);
+  if (!f.is_zero(matrix::det_gauss(f, g))) {
+    matrix::DenseBox<F> gbox(f, g);
+    EXPECT_FALSE(core::wiedemann_singular_test(f, gbox, prng, 1u << 20));
+  }
+}
+
+TEST(WiedemannTest, SolveOverGF256) {
+  GFpk gf(2, 8);
+  util::Prng prng(18);
+  const std::size_t n = 6;
+  auto a = matrix::random_matrix(gf, n, n, prng);
+  if (gf.is_zero(matrix::det_gauss(gf, a))) GTEST_SKIP();
+  std::vector<GFpk::Element> x;
+  for (std::size_t i = 0; i < n; ++i) x.push_back(gf.random(prng));
+  auto b = matrix::mat_vec(gf, a, x);
+  matrix::DenseBox<GFpk> box(gf, a);
+  auto sol = core::wiedemann_solve(gf, box, b, prng, 256);
+  ASSERT_TRUE(sol.has_value());
+  for (std::size_t i = 0; i < n; ++i) EXPECT_TRUE(gf.eq((*sol)[i], x[i]));
+}
+
+// ---------------------------------------------------------------------------
+// Baselines.
+
+std::vector<F::Element> dense_charpoly_ref(const Matrix<F>& a) {
+  // Faddeev-LeVerrier as the independent reference.
+  return core::faddeev_leverrier(f, a).charpoly;
+}
+
+TEST(BaselinesTest, AllMethodsAgree) {
+  util::Prng prng(19);
+  for (std::size_t n : {1u, 2u, 3u, 6u, 10u}) {
+    auto a = random_mat(n, prng);
+    auto ref = dense_charpoly_ref(a);
+    EXPECT_EQ(core::charpoly_csanky(f, a), ref) << n;
+    EXPECT_EQ(core::charpoly_berkowitz(f, a), ref) << n;
+    EXPECT_EQ(core::charpoly_chistov(f, a), ref) << n;
+  }
+}
+
+TEST(BaselinesTest, CharpolyConstantTermIsDet) {
+  util::Prng prng(20);
+  const std::size_t n = 7;
+  auto a = random_mat(n, prng);
+  auto p = core::charpoly_berkowitz(f, a);
+  auto det = matrix::det_gauss(f, a);
+  // p(0) = (-1)^n det(A); n = 7 odd.
+  EXPECT_EQ(p[0], f.neg(det));
+}
+
+TEST(BaselinesTest, FaddeevInverse) {
+  util::Prng prng(21);
+  const std::size_t n = 6;
+  auto a = random_mat(n, prng);
+  auto res = core::faddeev_leverrier(f, a);
+  if (f.is_zero(res.c_n)) GTEST_SKIP();
+  // A^{-1} = N_{n-1} / c_n.
+  auto inv = matrix::mat_scale(f, f.inv(res.c_n), res.adjoint_like);
+  EXPECT_TRUE(matrix::mat_eq(f, matrix::mat_mul(f, a, inv),
+                             matrix::identity_matrix(f, n)));
+}
+
+TEST(BaselinesTest, BerkowitzAndChistovOverGF4) {
+  // Characteristic 2: Csanky/Faddeev are out; Berkowitz and Chistov agree.
+  GFpk gf(2, 2);
+  util::Prng prng(22);
+  for (std::size_t n : {1u, 2u, 4u, 6u}) {
+    auto a = matrix::random_matrix(gf, n, n, prng);
+    auto pb = core::charpoly_berkowitz(gf, a);
+    auto pc = core::charpoly_chistov(gf, a);
+    ASSERT_EQ(pb.size(), pc.size()) << n;
+    for (std::size_t i = 0; i < pb.size(); ++i) {
+      EXPECT_TRUE(gf.eq(pb[i], pc[i])) << n << " " << i;
+    }
+    // Constant term = (-1)^n det = det (char 2).
+    EXPECT_TRUE(gf.eq(pb[0], matrix::det_gauss(gf, a))) << n;
+  }
+}
+
+TEST(BaselinesTest, CsankyOverRationals) {
+  RationalField q;
+  Matrix<RationalField> a(2, 2, q.zero());
+  a.at(0, 0) = Rational(2);
+  a.at(0, 1) = Rational(1);
+  a.at(1, 0) = Rational(1);
+  a.at(1, 1) = Rational(3);
+  auto p = core::charpoly_csanky(q, a);
+  // x^2 - 5x + 5.
+  EXPECT_TRUE(q.eq(p[0], Rational(5)));
+  EXPECT_TRUE(q.eq(p[1], Rational(-5)));
+  EXPECT_TRUE(q.eq(p[2], Rational(1)));
+}
+
+// ---------------------------------------------------------------------------
+// Section-5 extensions.
+
+TEST(ExtensionsTest, RankRandomizedMatchesGauss) {
+  util::Prng prng(23);
+  const std::size_t n = 10;
+  for (std::size_t r : {0u, 1u, 4u, 7u, 10u}) {
+    Matrix<F> a = matrix::zero_matrix(f, n, n);
+    if (r > 0) {
+      auto left = matrix::random_matrix(f, n, r, prng);
+      auto right = matrix::random_matrix(f, r, n, prng);
+      a = matrix::mat_mul(f, left, right);
+    }
+    ASSERT_EQ(matrix::rank_gauss(f, a), r);  // generic w.h.p.
+    EXPECT_EQ(core::rank_randomized(f, a, prng, 1u << 20), r) << r;
+  }
+}
+
+TEST(ExtensionsTest, RankRandomizedRectangular) {
+  util::Prng prng(24);
+  auto left = matrix::random_matrix(f, 9, 3, prng);
+  auto right = matrix::random_matrix(f, 3, 14, prng);
+  auto a = matrix::mat_mul(f, left, right);
+  EXPECT_EQ(core::rank_randomized(f, a, prng, 1u << 20), 3u);
+}
+
+TEST(ExtensionsTest, NullspaceSpansKernel) {
+  util::Prng prng(25);
+  const std::size_t n = 9;
+  for (std::size_t r : {0u, 3u, 6u, 9u}) {
+    Matrix<F> a = matrix::zero_matrix(f, n, n);
+    if (r > 0) {
+      auto left = matrix::random_matrix(f, n, r, prng);
+      auto right = matrix::random_matrix(f, r, n, prng);
+      a = matrix::mat_mul(f, left, right);
+    }
+    auto res = core::nullspace_randomized(f, a, prng, 1u << 20);
+    ASSERT_TRUE(res.ok) << r;
+    EXPECT_EQ(res.rank, r);
+    EXPECT_EQ(res.basis.cols(), n - r);
+    EXPECT_TRUE(matrix::mat_eq(f, matrix::mat_mul(f, a, res.basis),
+                               matrix::zero_matrix(f, n, n - r)));
+    if (n - r > 0) {
+      EXPECT_EQ(matrix::rank_gauss(f, res.basis), n - r);
+    }
+  }
+}
+
+TEST(ExtensionsTest, SingularSolveFindsASolution) {
+  util::Prng prng(26);
+  const std::size_t n = 8;
+  const std::size_t r = 5;
+  auto left = matrix::random_matrix(f, n, r, prng);
+  auto right = matrix::random_matrix(f, r, n, prng);
+  auto a = matrix::mat_mul(f, left, right);
+  // Consistent rhs: b = A y.
+  std::vector<F::Element> y(n);
+  for (auto& e : y) e = f.random(prng);
+  auto b = matrix::mat_vec(f, a, y);
+  auto sol = core::singular_solve_randomized(f, a, b, prng, 1u << 20);
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_EQ(matrix::mat_vec(f, a, *sol), b);
+}
+
+TEST(ExtensionsTest, SingularSolveRejectsInconsistent) {
+  util::Prng prng(27);
+  const std::size_t n = 6;
+  // Rank-2 A, rhs outside the column span (w.h.p.).
+  auto left = matrix::random_matrix(f, n, 2, prng);
+  auto right = matrix::random_matrix(f, 2, n, prng);
+  auto a = matrix::mat_mul(f, left, right);
+  std::vector<F::Element> b(n);
+  for (auto& e : b) e = f.random(prng);
+  if (matrix::rank_gauss(f, a) != 2) GTEST_SKIP();
+  auto sol = core::singular_solve_randomized(f, a, b, prng, 1u << 20);
+  EXPECT_FALSE(sol.has_value());
+}
+
+TEST(ExtensionsTest, LeastSquaresExactOnConsistentSystem) {
+  RationalField q;
+  util::Prng prng(28);
+  // Overdetermined consistent system: LSQ solution equals the true x.
+  Matrix<RationalField> a(5, 3, q.zero());
+  for (auto& e : a.data()) e = q.sample(prng, 16);
+  std::vector<Rational> x{Rational(2), Rational(BigInt(1), BigInt(3)),
+                          Rational(-1)};
+  auto b = matrix::mat_vec(q, a, x);
+  auto sol = core::least_squares(q, a, b);
+  ASSERT_TRUE(sol.has_value());
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_TRUE(q.eq((*sol)[i], x[i]));
+}
+
+TEST(ExtensionsTest, LeastSquaresRandomizedMatchesDirect) {
+  RationalField q;
+  util::Prng prng(30);
+  Matrix<RationalField> a(5, 3, q.zero());
+  for (auto& e : a.data()) e = q.sample(prng, 8);
+  std::vector<Rational> b(5);
+  for (auto& e : b) e = q.sample(prng, 8);
+  auto direct = core::least_squares(q, a, b);
+  auto randomized = core::least_squares_randomized(q, a, b, prng);
+  if (!direct) GTEST_SKIP();  // rank-deficient draw
+  ASSERT_TRUE(randomized.has_value());
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_TRUE(q.eq((*direct)[i], (*randomized)[i])) << i;
+  }
+}
+
+TEST(ExtensionsTest, LeastSquaresNormalEquationsResidualOrthogonal) {
+  RationalField q;
+  util::Prng prng(29);
+  Matrix<RationalField> a(6, 2, q.zero());
+  for (auto& e : a.data()) e = q.sample(prng, 8);
+  std::vector<Rational> b(6);
+  for (auto& e : b) e = q.sample(prng, 8);
+  auto sol = core::least_squares(q, a, b);
+  if (!sol) GTEST_SKIP();  // rank-deficient draw
+  // Residual r = A x - b is orthogonal to the column space: A^T r = 0.
+  auto r = matrix::mat_vec(q, a, *sol);
+  for (std::size_t i = 0; i < 6; ++i) r[i] = q.sub(r[i], b[i]);
+  auto atr = matrix::mat_vec(q, matrix::mat_transpose(q, a), r);
+  for (const auto& e : atr) EXPECT_TRUE(q.is_zero(e));
+}
+
+// ---------------------------------------------------------------------------
+// Small fields via algebraic extension (section 2's card(K) < 3n^2 remedy).
+
+TEST(FieldLiftTest, LiftDegreeCoversTarget) {
+  EXPECT_EQ(core::lift_degree(101, 100), 1u);
+  EXPECT_EQ(core::lift_degree(101, 102), 2u);
+  EXPECT_EQ(core::lift_degree(101, 101 * 101 + 1), 3u);
+  EXPECT_EQ(core::lift_degree(2, 1000), 10u);
+}
+
+TEST(FieldLiftTest, SolvesOverSmallPrimeField) {
+  // GF(101) with n = 8: card(K) = 101 < 3 n^2 = 192, so the pipeline must
+  // run in an extension.  p = 101 > n so Leverrier is fine.
+  field::GFp f101(101);
+  util::Prng prng(34);
+  const std::size_t n = 8;
+  for (int trial = 0; trial < 3; ++trial) {
+    auto a = matrix::random_matrix(f101, n, n, prng);
+    if (f101.is_zero(matrix::det_gauss(f101, a))) continue;
+    std::vector<field::GFp::Element> x(n);
+    for (auto& e : x) e = f101.random(prng);
+    auto b = matrix::mat_vec(f101, a, x);
+    auto res = core::kp_solve_small_field(f101, a, b, prng);
+    ASSERT_TRUE(res.ok);
+    EXPECT_GE(res.extension_degree, 2u);  // 101^1 is below the target
+    EXPECT_EQ(res.x, x);
+    EXPECT_EQ(res.det, matrix::det_gauss(f101, a));
+  }
+}
+
+TEST(FieldLiftTest, RefusesWhenCharacteristicTooSmall) {
+  // p = 5 <= n = 8: Leverrier impossible even after lifting.
+  field::GFp f5(5);
+  util::Prng prng(35);
+  const std::size_t n = 8;
+  auto a = matrix::random_matrix(f5, n, n, prng);
+  std::vector<field::GFp::Element> b(n);
+  for (auto& e : b) e = f5.random(prng);
+  auto res = core::kp_solve_small_field(f5, a, b, prng);
+  EXPECT_FALSE(res.ok);
+}
+
+// ---------------------------------------------------------------------------
+// Small characteristic (section 5 / complexity (12)).
+
+TEST(SmallCharTest, LeadingToeplitzIsPrincipalSubmatrix) {
+  util::Prng prng(30);
+  const std::size_t n = 6;
+  std::vector<F::Element> diag(2 * n - 1);
+  for (auto& v : diag) v = f.random(prng);
+  matrix::Toeplitz<F> t(n, diag);
+  for (std::size_t i = 1; i <= n; ++i) {
+    auto ti = core::leading_toeplitz(t, i);
+    auto expect = matrix::leading_principal(f, t.to_dense(f), i);
+    EXPECT_TRUE(matrix::mat_eq(f, ti.to_dense(f), expect)) << i;
+  }
+}
+
+TEST(SmallCharTest, AnyCharMatchesLeverrierOverBigField) {
+  util::Prng prng(31);
+  for (std::size_t n : {1u, 2u, 4u, 8u}) {
+    std::vector<F::Element> diag(2 * n - 1);
+    for (auto& v : diag) v = f.random(prng);
+    matrix::Toeplitz<F> t(n, diag);
+    EXPECT_EQ(core::toeplitz_charpoly_any_char(f, t), seq::toeplitz_charpoly(f, t))
+        << n;
+  }
+}
+
+TEST(SmallCharTest, WorksOverGF2k) {
+  // n = 4 > char = 2: Leverrier is impossible, the Chistov route must work.
+  GFpk gf(2, 4);
+  util::Prng prng(32);
+  for (std::size_t n : {1u, 2u, 4u, 6u}) {
+    std::vector<GFpk::Element> diag;
+    for (std::size_t i = 0; i < 2 * n - 1; ++i) diag.push_back(gf.random(prng));
+    matrix::Toeplitz<GFpk> t(n, diag);
+    auto p = core::toeplitz_charpoly_any_char(gf, t);
+    auto ref = core::charpoly_berkowitz(gf, t.to_dense(gf));
+    ASSERT_EQ(p.size(), ref.size()) << n;
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      EXPECT_TRUE(gf.eq(p[i], ref[i])) << n << " " << i;
+    }
+    EXPECT_TRUE(
+        gf.eq(core::toeplitz_det_any_char(gf, t), matrix::det_gauss(gf, t.to_dense(gf))))
+        << n;
+  }
+}
+
+TEST(SmallCharTest, WorksOverZ3WithLargeN) {
+  // char = 3 < n = 5.
+  field::GFp gf3(3);
+  util::Prng prng(33);
+  std::vector<field::GFp::Element> diag(9);
+  for (auto& v : diag) v = gf3.random(prng);
+  matrix::Toeplitz<field::GFp> t(5, diag);
+  auto p = core::toeplitz_charpoly_any_char(gf3, t);
+  auto ref = core::charpoly_berkowitz(gf3, t.to_dense(gf3));
+  EXPECT_EQ(p, ref);
+}
+
+}  // namespace
+}  // namespace kp

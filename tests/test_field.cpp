@@ -1,0 +1,439 @@
+// Tests for the field substrate: prime fields, extension fields, BigInt, Q.
+//
+// Field-axiom checks are written once, generically, and instantiated for
+// every field type (typed tests) -- the paper's algorithms only ever see the
+// Field concept, so these axioms are the substrate's contract.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "field/bigint.h"
+#include "field/concepts.h"
+#include "field/gfpk.h"
+#include "field/primes.h"
+#include "field/rational.h"
+#include "field/zp.h"
+#include "util/op_count.h"
+#include "util/prng.h"
+
+namespace kp {
+namespace {
+
+using field::BigInt;
+using field::GFp;
+using field::GFpk;
+using field::Rational;
+using field::RationalField;
+using field::Zp;
+
+static_assert(field::Field<Zp<97>>);
+static_assert(field::Field<GFp>);
+static_assert(field::Field<RationalField>);
+static_assert(field::Field<GFpk>);
+
+// ---------------------------------------------------------------------------
+// Generic field-axiom property tests.
+
+template <class FieldT>
+FieldT make_field();
+
+template <>
+Zp<101> make_field<Zp<101>>() { return {}; }
+template <>
+GFp make_field<GFp>() { return GFp(field::kP61); }
+template <>
+RationalField make_field<RationalField>() { return {}; }
+template <>
+GFpk make_field<GFpk>() { return GFpk(5, 3); }
+
+template <class FieldT>
+class FieldAxioms : public ::testing::Test {
+ protected:
+  FieldT f = make_field<FieldT>();
+  util::Prng prng{12345};
+};
+
+using FieldTypes = ::testing::Types<Zp<101>, GFp, RationalField, GFpk>;
+TYPED_TEST_SUITE(FieldAxioms, FieldTypes);
+
+TYPED_TEST(FieldAxioms, AdditiveGroup) {
+  auto& f = this->f;
+  for (int trial = 0; trial < 50; ++trial) {
+    auto a = f.random(this->prng);
+    auto b = f.random(this->prng);
+    auto c = f.random(this->prng);
+    EXPECT_TRUE(f.eq(f.add(a, b), f.add(b, a)));
+    EXPECT_TRUE(f.eq(f.add(f.add(a, b), c), f.add(a, f.add(b, c))));
+    EXPECT_TRUE(f.eq(f.add(a, f.zero()), a));
+    EXPECT_TRUE(f.is_zero(f.add(a, f.neg(a))));
+    EXPECT_TRUE(f.eq(f.sub(a, b), f.add(a, f.neg(b))));
+  }
+}
+
+TYPED_TEST(FieldAxioms, MultiplicativeGroup) {
+  auto& f = this->f;
+  for (int trial = 0; trial < 50; ++trial) {
+    auto a = f.random(this->prng);
+    auto b = f.random(this->prng);
+    auto c = f.random(this->prng);
+    EXPECT_TRUE(f.eq(f.mul(a, b), f.mul(b, a)));
+    EXPECT_TRUE(f.eq(f.mul(f.mul(a, b), c), f.mul(a, f.mul(b, c))));
+    EXPECT_TRUE(f.eq(f.mul(a, f.one()), a));
+    if (!f.is_zero(a)) {
+      EXPECT_TRUE(f.eq(f.mul(a, f.inv(a)), f.one()));
+      EXPECT_TRUE(f.eq(f.div(b, a), f.mul(b, f.inv(a))));
+    }
+  }
+}
+
+TYPED_TEST(FieldAxioms, Distributivity) {
+  auto& f = this->f;
+  for (int trial = 0; trial < 50; ++trial) {
+    auto a = f.random(this->prng);
+    auto b = f.random(this->prng);
+    auto c = f.random(this->prng);
+    EXPECT_TRUE(
+        f.eq(f.mul(a, f.add(b, c)), f.add(f.mul(a, b), f.mul(a, c))));
+  }
+}
+
+TYPED_TEST(FieldAxioms, FromIntIsRingHomomorphism) {
+  auto& f = this->f;
+  for (std::int64_t x : {-7, -1, 0, 1, 2, 13, 1000}) {
+    for (std::int64_t y : {-3, 0, 5, 17}) {
+      EXPECT_TRUE(f.eq(f.from_int(x + y), f.add(f.from_int(x), f.from_int(y))));
+      EXPECT_TRUE(f.eq(f.from_int(x * y), f.mul(f.from_int(x), f.from_int(y))));
+    }
+  }
+}
+
+TYPED_TEST(FieldAxioms, SampleStaysInBounds) {
+  auto& f = this->f;
+  // sample(prng, 1) must be deterministic (the single element 0).
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(f.is_zero(f.sample(this->prng, 1)));
+  }
+  // Small sample sets are hit uniformly enough to see every value.
+  std::vector<bool> seen(4, false);
+  for (int i = 0; i < 200; ++i) {
+    auto v = f.sample(this->prng, 4);
+    for (std::int64_t j = 0; j < 4; ++j) {
+      if (f.eq(v, f.from_int(j))) seen[static_cast<std::size_t>(j)] = true;
+    }
+  }
+  const std::uint64_t card = f.cardinality();
+  const std::size_t expect_distinct = card == 0 ? 4 : std::min<std::uint64_t>(4, card);
+  std::size_t distinct = 0;
+  for (bool s : seen) distinct += s;
+  EXPECT_GE(distinct, expect_distinct);
+}
+
+// ---------------------------------------------------------------------------
+// Prime-field specifics.
+
+TEST(ZpTest, KnownValues) {
+  Zp<97> f;
+  EXPECT_EQ(f.add(90, 10), 3u);
+  EXPECT_EQ(f.sub(3, 10), 90u);
+  EXPECT_EQ(f.mul(50, 2), 3u);
+  EXPECT_EQ(f.mul(f.inv(5), 5), 1u);
+  EXPECT_EQ(f.from_int(-1), 96u);
+  EXPECT_EQ(f.from_int(97), 0u);
+}
+
+TEST(ZpTest, LargePrimeRoundTrip) {
+  GFp f(field::kP61);
+  util::Prng prng(7);
+  for (int i = 0; i < 100; ++i) {
+    const auto a = f.random(prng);
+    if (f.is_zero(a)) continue;
+    EXPECT_EQ(f.mul(a, f.inv(a)), f.one());
+  }
+}
+
+TEST(ZpTest, OpCountingReportsWork) {
+  Zp<101> f;
+  util::OpScope scope;
+  auto x = f.mul(f.add(3, 4), f.inv(5));
+  (void)x;
+  const auto counts = scope.counts();
+  EXPECT_EQ(counts.add, 1u);
+  EXPECT_EQ(counts.mul, 1u);
+  EXPECT_EQ(counts.div, 1u);
+}
+
+TEST(PrimesTest, MillerRabinKnownValues) {
+  EXPECT_TRUE(field::is_prime_u64(2));
+  EXPECT_TRUE(field::is_prime_u64(97));
+  EXPECT_TRUE(field::is_prime_u64(field::kP61));
+  EXPECT_TRUE(field::is_prime_u64(field::kNttPrime));
+  EXPECT_FALSE(field::is_prime_u64(1));
+  EXPECT_FALSE(field::is_prime_u64(561));         // Carmichael
+  EXPECT_FALSE(field::is_prime_u64(1ULL << 61));  // even
+}
+
+TEST(PrimesTest, NttPrimeHasLargeTwoAdicRoot) {
+  // kNttPrime = 5 * 2^55 + 1, so the group has an element of order 2^55.
+  EXPECT_EQ((field::kNttPrime - 1) % (1ULL << 55), 0u);
+  const std::uint64_t g = field::primitive_root(field::kNttPrime);
+  const std::uint64_t w =
+      field::detail::powmod(g, (field::kNttPrime - 1) >> 55, field::kNttPrime);
+  // w has order exactly 2^55.
+  EXPECT_NE(field::detail::powmod(w, 1ULL << 54, field::kNttPrime), 1u);
+  EXPECT_EQ(field::detail::powmod(w, 1ULL << 55, field::kNttPrime) % field::kNttPrime, 1u);
+}
+
+TEST(PrimesTest, PrimitiveRootSmall) {
+  EXPECT_EQ(field::primitive_root(7), 3u);   // 3 generates Z/7Z*
+  const std::uint64_t g = field::primitive_root(101);
+  std::vector<bool> seen(101, false);
+  std::uint64_t x = 1;
+  for (int i = 0; i < 100; ++i) {
+    x = x * g % 101;
+    seen[x] = true;
+  }
+  for (std::uint64_t v = 1; v <= 100; ++v) EXPECT_TRUE(seen[v]) << v;
+}
+
+// ---------------------------------------------------------------------------
+// BigInt.
+
+TEST(BigIntTest, Int64RoundTrip) {
+  for (std::int64_t v : {std::int64_t{0}, std::int64_t{1}, std::int64_t{-1},
+                         std::int64_t{123456789}, std::int64_t{-987654321},
+                         std::numeric_limits<std::int64_t>::max(),
+                         std::numeric_limits<std::int64_t>::min()}) {
+    BigInt b(v);
+    ASSERT_TRUE(b.fits_int64());
+    EXPECT_EQ(b.to_int64(), v);
+    EXPECT_EQ(b.to_string(), std::to_string(v));
+  }
+}
+
+TEST(BigIntTest, DecimalParseAndPrint) {
+  const std::string digits = "123456789012345678901234567890123456789";
+  BigInt b(digits);
+  EXPECT_EQ(b.to_string(), digits);
+  BigInt neg("-" + digits);
+  EXPECT_EQ(neg.to_string(), "-" + digits);
+  EXPECT_EQ(b + neg, BigInt(0));
+}
+
+TEST(BigIntTest, ArithmeticMatchesInt64) {
+  util::Prng prng(99);
+  for (int trial = 0; trial < 500; ++trial) {
+    const std::int64_t x = prng.range(-1000000, 1000000);
+    const std::int64_t y = prng.range(-1000000, 1000000);
+    EXPECT_EQ((BigInt(x) + BigInt(y)).to_int64(), x + y);
+    EXPECT_EQ((BigInt(x) - BigInt(y)).to_int64(), x - y);
+    EXPECT_EQ((BigInt(x) * BigInt(y)).to_int64(), x * y);
+    if (y != 0) {
+      EXPECT_EQ((BigInt(x) / BigInt(y)).to_int64(), x / y);
+      EXPECT_EQ((BigInt(x) % BigInt(y)).to_int64(), x % y);
+    }
+  }
+}
+
+TEST(BigIntTest, DivModInvariantLargeRandom) {
+  util::Prng prng(123);
+  for (int trial = 0; trial < 100; ++trial) {
+    // Build random numbers of up to ~40 limbs.
+    auto random_big = [&prng](int max_limbs) {
+      BigInt acc(0);
+      const int limbs = static_cast<int>(prng.below(static_cast<std::uint64_t>(max_limbs))) + 1;
+      for (int i = 0; i < limbs; ++i) {
+        acc = acc.shl(32) + BigInt(static_cast<std::int64_t>(prng() & 0xffffffffULL));
+      }
+      return prng.coin() ? -acc : acc;
+    };
+    const BigInt num = random_big(40);
+    BigInt den = random_big(20);
+    if (den.is_zero()) den = BigInt(1);
+    BigInt q, r;
+    BigInt::divmod(num, den, q, r);
+    EXPECT_EQ(q * den + r, num);
+    EXPECT_TRUE(r.abs() < den.abs());
+    // Truncated division: remainder carries the dividend's sign.
+    if (!r.is_zero()) {
+      EXPECT_EQ(r.signum(), num.signum());
+    }
+  }
+}
+
+TEST(BigIntTest, KnuthDStressVectors) {
+  // Shapes chosen to exercise the qhat over-estimate correction and the
+  // add-back step of Algorithm D (reference values from CPython).
+  struct Case {
+    const char* num;
+    const char* den;
+    const char* quot;
+    const char* rem;
+  };
+  const Case cases[] = {
+      {"79228162495817593519834398720", "18446744073709551615", "4294967295",
+       "4294967295"},
+      {"340282366920938463463374607431768211455", "18446744073709551619",
+       "18446744073709551613", "8"},
+      {"79228162532711081667253501951", "4294967297", "18446744073709551615",
+       "4294967296"},
+      {"6277101735386680763835789424475317016330584845960737730617",
+       "79228162514264337584954015737", "79228162514264337602133884951",
+       "73786976552536256730"},
+      {"100000000000000000000000010000000000000000000000001",
+       "999999999999999999999999", "100000000000000000000000110", "111"},
+  };
+  for (const auto& c : cases) {
+    BigInt num(c.num), den(c.den);
+    BigInt q, r;
+    BigInt::divmod(num, den, q, r);
+    EXPECT_EQ(q.to_string(), c.quot) << c.num;
+    EXPECT_EQ(r.to_string(), c.rem) << c.num;
+    EXPECT_EQ(q * den + r, num);
+  }
+}
+
+TEST(BigIntTest, KaratsubaAgreesWithSchoolbookViaIdentity) {
+  // (10^k + 1)^2 = 10^2k + 2*10^k + 1 crosses the Karatsuba threshold.
+  const BigInt ten(10);
+  for (int k : {10, 100, 400, 1200}) {
+    const BigInt a = ten.pow(static_cast<std::uint64_t>(k)) + BigInt(1);
+    const BigInt lhs = a * a;
+    const BigInt rhs = ten.pow(static_cast<std::uint64_t>(2 * k)) +
+                       BigInt(2) * ten.pow(static_cast<std::uint64_t>(k)) + BigInt(1);
+    EXPECT_EQ(lhs, rhs) << "k=" << k;
+  }
+}
+
+TEST(BigIntTest, PowAndFactorial) {
+  EXPECT_EQ(BigInt(2).pow(100).to_string(), "1267650600228229401496703205376");
+  BigInt fact(1);
+  for (int i = 2; i <= 30; ++i) fact *= BigInt(i);
+  EXPECT_EQ(fact.to_string(), "265252859812191058636308480000000");
+}
+
+TEST(BigIntTest, GcdProperties) {
+  EXPECT_EQ(BigInt::gcd(BigInt(48), BigInt(36)), BigInt(12));
+  EXPECT_EQ(BigInt::gcd(BigInt(-48), BigInt(36)), BigInt(12));
+  EXPECT_EQ(BigInt::gcd(BigInt(0), BigInt(5)), BigInt(5));
+  const BigInt a = BigInt(7).pow(50) * BigInt(3).pow(20);
+  const BigInt b = BigInt(7).pow(30) * BigInt(5).pow(20);
+  EXPECT_EQ(BigInt::gcd(a, b), BigInt(7).pow(30));
+}
+
+TEST(BigIntTest, Shifts) {
+  const BigInt one(1);
+  EXPECT_EQ(one.shl(100), BigInt(2).pow(100));
+  EXPECT_EQ(BigInt(2).pow(100).shr(99), BigInt(2));
+  EXPECT_EQ(BigInt(2).pow(100).shr(101), BigInt(0));
+  EXPECT_EQ(BigInt(12345).shl(37).shr(37), BigInt(12345));
+  EXPECT_EQ(BigInt(2).pow(100).bit_length(), 101u);
+}
+
+TEST(BigIntTest, ComparisonTotalOrder) {
+  std::vector<BigInt> vals = {BigInt("-100000000000000000000"), BigInt(-5),
+                              BigInt(0), BigInt(3),
+                              BigInt("99999999999999999999999")};
+  for (std::size_t i = 0; i < vals.size(); ++i) {
+    for (std::size_t j = 0; j < vals.size(); ++j) {
+      EXPECT_EQ(vals[i] < vals[j], i < j);
+      EXPECT_EQ(vals[i] == vals[j], i == j);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rationals.
+
+TEST(RationalTest, Normalization) {
+  EXPECT_EQ(Rational(BigInt(2), BigInt(4)).to_string(), "1/2");
+  EXPECT_EQ(Rational(BigInt(-2), BigInt(4)).to_string(), "-1/2");
+  EXPECT_EQ(Rational(BigInt(2), BigInt(-4)).to_string(), "-1/2");
+  EXPECT_EQ(Rational(BigInt(0), BigInt(-7)).to_string(), "0");
+  EXPECT_EQ(Rational(BigInt(6), BigInt(3)).to_string(), "2");
+}
+
+TEST(RationalTest, Arithmetic) {
+  const Rational half(BigInt(1), BigInt(2));
+  const Rational third(BigInt(1), BigInt(3));
+  EXPECT_EQ((half + third).to_string(), "5/6");
+  EXPECT_EQ((half - third).to_string(), "1/6");
+  EXPECT_EQ((half * third).to_string(), "1/6");
+  EXPECT_EQ((half / third).to_string(), "3/2");
+  EXPECT_EQ((-half).to_string(), "-1/2");
+  EXPECT_TRUE(third < half);
+}
+
+TEST(RationalTest, HarmonicSum) {
+  // H_20 = sum 1/i has a well-known exact value.
+  RationalField f;
+  Rational sum = f.zero();
+  for (int i = 1; i <= 20; ++i) {
+    sum = f.add(sum, f.div(f.one(), f.from_int(i)));
+  }
+  EXPECT_EQ(sum.to_string(), "55835135/15519504");
+}
+
+// ---------------------------------------------------------------------------
+// GF(p^k).
+
+TEST(GFpkTest, FrobeniusFixesPrimeField) {
+  GFpk f(7, 4);
+  util::Prng prng(3);
+  // a^(p^k) = a for all a (the field has p^k elements).
+  for (int trial = 0; trial < 20; ++trial) {
+    auto a = f.random(prng);
+    auto x = a;
+    for (int i = 0; i < 4; ++i) {
+      // x <- x^7
+      auto x2 = f.mul(x, x);
+      auto x4 = f.mul(x2, x2);
+      x = f.mul(f.mul(x4, x2), x);
+    }
+    EXPECT_TRUE(f.eq(x, a));
+  }
+}
+
+TEST(GFpkTest, CardinalityAndCharacteristic) {
+  GFpk f(3, 5);
+  EXPECT_EQ(f.characteristic(), 3u);
+  EXPECT_EQ(f.cardinality(), 243u);
+  GFpk g(2, 8);
+  EXPECT_EQ(g.cardinality(), 256u);
+}
+
+TEST(GFpkTest, MultiplicativeOrderDividesCardMinusOne) {
+  GFpk f(2, 8);
+  util::Prng prng(17);
+  for (int trial = 0; trial < 10; ++trial) {
+    auto a = f.random(prng);
+    if (f.is_zero(a)) continue;
+    // a^255 = 1 in GF(256).
+    auto acc = f.one();
+    for (int i = 0; i < 255; ++i) acc = f.mul(acc, a);
+    EXPECT_TRUE(f.eq(acc, f.one()));
+  }
+}
+
+TEST(GFpkTest, ExplicitModulusGF4) {
+  // GF(4) = GF(2)[x]/(x^2 + x + 1).
+  GFpk f(2, std::vector<std::uint64_t>{1, 1});
+  const auto x = GFpk::Element{0, 1};
+  // x^2 = x + 1, x^3 = 1.
+  EXPECT_TRUE(f.eq(f.mul(x, x), GFpk::Element{1, 1}));
+  EXPECT_TRUE(f.eq(f.mul(f.mul(x, x), x), f.one()));
+  EXPECT_TRUE(f.eq(f.inv(x), GFpk::Element{1, 1}));
+}
+
+TEST(GFpkTest, SampleSmallSetIsPrimeSubfieldPrefix) {
+  GFpk f(5, 2);
+  util::Prng prng(5);
+  for (int i = 0; i < 50; ++i) {
+    auto v = f.sample(prng, 5);
+    EXPECT_EQ(v[1], 0u) << "sample set of size p stays in the prime subfield";
+  }
+}
+
+}  // namespace
+}  // namespace kp

@@ -1,0 +1,90 @@
+// Tests for the PRAM execution layer: parallel_for determinism and
+// coverage, and the work/depth tracker algebra.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "field/zp.h"
+#include "matrix/dense.h"
+#include "matrix/gauss.h"
+#include "pram/parallel_for.h"
+#include "pram/work_depth.h"
+#include "util/prng.h"
+
+namespace kp {
+namespace {
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  const std::size_t n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  pram::parallel_for(0, n, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelForTest, RespectsRangeBounds) {
+  std::vector<std::atomic<int>> hits(20);
+  pram::parallel_for(5, 15, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(hits[i].load(), (i >= 5 && i < 15) ? 1 : 0) << i;
+  }
+  // Empty and reversed ranges are no-ops.
+  pram::parallel_for(7, 7, [&](std::size_t) { FAIL(); });
+  pram::parallel_for(9, 3, [&](std::size_t) { FAIL(); });
+}
+
+TEST(ParallelForTest, DeterministicWithSeedPerIndex) {
+  // The contract: per-index seeding makes results independent of the
+  // thread count.
+  using F = field::Zp<1000003>;
+  F f;
+  auto run = [&](unsigned workers) {
+    return pram::parallel_map<F::Element>(
+        64,
+        [&](std::size_t i) {
+          util::Prng prng(1000 + i);
+          auto a = matrix::random_matrix(f, 4, 4, prng);
+          return matrix::det_gauss(f, a);
+        },
+        workers);
+  };
+  EXPECT_EQ(run(1), run(4));
+}
+
+TEST(WorkDepthTest, SpanAndWorkAlgebra) {
+  pram::WorkDepth wd;
+  wd.parallel_region(100, 50, 7);  // 100 tasks of 50 ops, depth 7
+  wd.sequential(3);
+  EXPECT_EQ(wd.work(), 5003u);
+  EXPECT_EQ(wd.span(), 10u);
+
+  pram::WorkDepth other;
+  other.sequential(20);
+  pram::WorkDepth side = wd;
+  side.merge_parallel(other);  // runs beside: span maxes
+  EXPECT_EQ(side.work(), 5023u);
+  EXPECT_EQ(side.span(), 20u);
+
+  pram::WorkDepth chain = wd;
+  chain.merge_sequential(other);  // runs after: span adds
+  EXPECT_EQ(chain.work(), 5023u);
+  EXPECT_EQ(chain.span(), 30u);
+
+  EXPECT_NEAR(wd.parallelism(), 500.3, 0.01);
+}
+
+TEST(WorkDepthTest, ModelsTheKrylovDoublingShape) {
+  // log n rounds of matrix products, each n^3 work / ~2 log n depth, models
+  // the eq.-(9) doubling; span must be polylog while work is ~n^3 log n.
+  const std::uint64_t n = 1024, logn = 10;
+  pram::WorkDepth wd;
+  for (std::uint64_t round = 0; round < logn; ++round) {
+    wd.parallel_region(n * n, n, 2 * logn);  // n^2 inner products in parallel
+  }
+  EXPECT_EQ(wd.work(), n * n * n * logn);
+  EXPECT_EQ(wd.span(), 2 * logn * logn);
+}
+
+}  // namespace
+}  // namespace kp

@@ -1,0 +1,222 @@
+// Tests for the section-5 Sylvester extension: resultants, gcd degree via
+// rank, and gcd recovery via one structured linear solve -- cross-checked
+// against the Euclidean algorithm.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/poly_gcd.h"
+#include "field/gfpk.h"
+#include "field/zp.h"
+#include "matrix/gauss.h"
+#include "matrix/sylvester.h"
+#include "poly/poly.h"
+#include "util/prng.h"
+
+namespace kp {
+namespace {
+
+using field::Zp;
+using matrix::Sylvester;
+using poly::PolyRing;
+
+using F = Zp<1000003>;
+F f;
+PolyRing<F> ring(f);
+
+PolyRing<F>::Element random_monic(std::size_t deg, util::Prng& prng) {
+  auto p = ring.random_degree(prng, static_cast<std::int64_t>(deg) - 1);
+  p.resize(deg + 1, f.zero());
+  p[deg] = f.one();
+  return p;
+}
+
+TEST(SylvesterTest, DenseLayoutMatchesDefinition) {
+  // f = x^2 + 2x + 3, g = 4x + 5: S is 3x3,
+  //   [1 2 3]
+  //   [4 5 0]
+  //   [0 4 5]
+  PolyRing<F>::Element pf{3, 2, 1};
+  PolyRing<F>::Element pg{5, 4};
+  Sylvester<F> s(ring, pf, pg);
+  auto d = s.to_dense(f);
+  ASSERT_EQ(d.rows(), 3u);
+  EXPECT_EQ(d.at(0, 0), 1u);
+  EXPECT_EQ(d.at(0, 1), 2u);
+  EXPECT_EQ(d.at(0, 2), 3u);
+  EXPECT_EQ(d.at(1, 0), 4u);
+  EXPECT_EQ(d.at(1, 1), 5u);
+  EXPECT_EQ(d.at(1, 2), 0u);
+  EXPECT_EQ(d.at(2, 0), 0u);
+  EXPECT_EQ(d.at(2, 1), 4u);
+  EXPECT_EQ(d.at(2, 2), 5u);
+}
+
+TEST(SylvesterTest, ApplyTransposeMatchesDense) {
+  util::Prng prng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto pf = random_monic(2 + prng.below(5), prng);
+    auto pg = random_monic(1 + prng.below(5), prng);
+    Sylvester<F> s(ring, pf, pg);
+    std::vector<F::Element> x(s.dim());
+    for (auto& e : x) e = f.random(prng);
+    auto dense = s.to_dense(f);
+    EXPECT_EQ(s.apply_transpose(x),
+              matrix::mat_vec(f, matrix::mat_transpose(f, dense), x));
+  }
+}
+
+TEST(SylvesterTest, ResultantOfLinearFactors) {
+  // res(x - a, x - b) = a - b (with the classical sign convention
+  // res(f, g) = lc(f)^dg lc(g)^df prod (alpha_i - beta_j)).
+  for (std::int64_t a : {2, 7, 100}) {
+    for (std::int64_t b : {3, 7, 50}) {
+      PolyRing<F>::Element pf{f.from_int(-a), f.one()};
+      PolyRing<F>::Element pg{f.from_int(-b), f.one()};
+      Sylvester<F> s(ring, pf, pg);
+      EXPECT_EQ(core::resultant_gauss(f, s), f.from_int(a - b));
+    }
+  }
+}
+
+TEST(SylvesterTest, ResultantZeroIffCommonRoot) {
+  util::Prng prng(2);
+  // Common factor => resultant 0.
+  auto h = random_monic(2, prng);
+  auto pf = ring.mul(h, random_monic(3, prng));
+  auto pg = ring.mul(h, random_monic(2, prng));
+  Sylvester<F> s(ring, pf, pg);
+  EXPECT_TRUE(f.is_zero(core::resultant_gauss(f, s)));
+  // Coprime (generic) => non-zero.
+  auto pa = random_monic(3, prng);
+  auto pb = random_monic(3, prng);
+  if (ring.gcd(pa, pb) == ring.one()) {
+    Sylvester<F> s2(ring, pa, pb);
+    EXPECT_FALSE(f.is_zero(core::resultant_gauss(f, s2)));
+  }
+}
+
+TEST(SylvesterTest, ResultantMultiplicative) {
+  // res(f1*f2, g) = res(f1, g) * res(f2, g).
+  util::Prng prng(3);
+  auto f1 = random_monic(2, prng);
+  auto f2 = random_monic(3, prng);
+  auto g = random_monic(3, prng);
+  Sylvester<F> s12(ring, ring.mul(f1, f2), g);
+  Sylvester<F> s1(ring, f1, g);
+  Sylvester<F> s2(ring, f2, g);
+  EXPECT_EQ(core::resultant_gauss(f, s12),
+            f.mul(core::resultant_gauss(f, s1), core::resultant_gauss(f, s2)));
+}
+
+TEST(SylvesterTest, RandomizedResultantMatchesGauss) {
+  util::Prng prng(4);
+  for (int trial = 0; trial < 5; ++trial) {
+    auto pf = random_monic(4, prng);
+    auto pg = random_monic(3, prng);
+    Sylvester<F> s(ring, pf, pg);
+    EXPECT_EQ(core::resultant_randomized(f, s, prng), core::resultant_gauss(f, s));
+  }
+}
+
+TEST(SylvesterTest, KernelDimensionIsGcdDegree) {
+  util::Prng prng(5);
+  for (std::size_t d : {0u, 1u, 2u, 4u}) {
+    auto h = random_monic(d, prng);
+    auto pf = ring.mul(h, random_monic(3, prng));
+    auto pg = ring.mul(h, random_monic(4, prng));
+    // Certify the planted gcd really is the gcd (generic cofactors).
+    if (kp::poly::PolyRing<F>::degree(ring.gcd(pf, pg)) !=
+        static_cast<std::int64_t>(d)) {
+      continue;
+    }
+    Sylvester<F> s(ring, pf, pg);
+    const auto dense = s.to_dense(f);
+    EXPECT_EQ(s.dim() - matrix::rank_gauss(f, dense), d);
+    EXPECT_EQ(core::gcd_degree_randomized(f, s, prng), d);
+  }
+}
+
+TEST(PolyGcdTest, RecoversPlantedGcd) {
+  util::Prng prng(6);
+  for (std::size_t d : {0u, 1u, 3u, 5u}) {
+    auto h = random_monic(d, prng);
+    auto pf = ring.mul(h, random_monic(4, prng));
+    auto pg = ring.mul(h, random_monic(5, prng));
+    auto euclid = ring.gcd(pf, pg);
+    auto lin = core::gcd_via_linear_algebra(ring, pf, pg, prng);
+    EXPECT_EQ(lin, euclid) << "planted degree " << d;
+  }
+}
+
+TEST(PolyGcdTest, GcdFromDegreeRejectsWrongDegree) {
+  util::Prng prng(7);
+  auto h = random_monic(2, prng);
+  auto pf = ring.mul(h, random_monic(3, prng));
+  auto pg = ring.mul(h, random_monic(3, prng));
+  if (kp::poly::PolyRing<F>::degree(ring.gcd(pf, pg)) != 2) GTEST_SKIP();
+  EXPECT_TRUE(core::gcd_from_degree(ring, pf, pg, 2).has_value());
+  EXPECT_FALSE(core::gcd_from_degree(ring, pf, pg, 3).has_value());
+  // Degree 1 guess: the square system is singular or produces a non-divisor.
+  EXPECT_FALSE(core::gcd_from_degree(ring, pf, pg, 1).has_value());
+}
+
+TEST(PolyGcdTest, CoprimeInputsGiveOne) {
+  util::Prng prng(8);
+  for (int trial = 0; trial < 10; ++trial) {
+    auto pf = random_monic(3 + prng.below(3), prng);
+    auto pg = random_monic(2 + prng.below(4), prng);
+    if (ring.gcd(pf, pg) != ring.one()) continue;
+    EXPECT_EQ(core::gcd_via_linear_algebra(ring, pf, pg, prng), ring.one());
+  }
+}
+
+TEST(PolyGcdTest, WorksOverGF256) {
+  field::GFpk gf(2, 8);
+  poly::PolyRing<field::GFpk> gring(gf);
+  util::Prng prng(9);
+  auto rand_monic = [&](std::size_t deg) {
+    auto p = gring.random_degree(prng, static_cast<std::int64_t>(deg) - 1);
+    p.resize(deg + 1, gf.zero());
+    p[deg] = gf.one();
+    return p;
+  };
+  auto h = rand_monic(2);
+  auto pf = gring.mul(h, rand_monic(3));
+  auto pg = gring.mul(h, rand_monic(4));
+  auto euclid = gring.gcd(pf, pg);
+  auto lin = core::gcd_via_linear_algebra(gring, pf, pg, prng, 256);
+  EXPECT_TRUE(gring.eq(lin, euclid));
+}
+
+TEST(PolyGcdTest, CofactorsSatisfyBezoutIdentity) {
+  // The "Euclidean scheme coefficients" of section 5: h = u f + v g with
+  // the degree bounds deg u < dg - d, deg v < df - d.
+  util::Prng prng(11);
+  for (std::size_t d : {0u, 1u, 3u}) {
+    auto h = random_monic(d, prng);
+    auto pf = ring.mul(h, random_monic(4, prng));
+    auto pg = ring.mul(h, random_monic(5, prng));
+    const auto true_d =
+        static_cast<std::size_t>(kp::poly::PolyRing<F>::degree(ring.gcd(pf, pg)));
+    auto res = core::gcd_with_cofactors_from_degree(ring, pf, pg, true_d);
+    ASSERT_TRUE(res.has_value()) << d;
+    auto combo = ring.add(ring.mul(res->u, pf), ring.mul(res->v, pg));
+    EXPECT_EQ(combo, res->h);
+    EXPECT_LT(kp::poly::PolyRing<F>::degree(res->u),
+              static_cast<std::int64_t>(pg.size() - 1 - true_d));
+    EXPECT_LT(kp::poly::PolyRing<F>::degree(res->v),
+              static_cast<std::int64_t>(pf.size() - 1 - true_d));
+  }
+}
+
+TEST(PolyGcdTest, OneInputDividesTheOther) {
+  util::Prng prng(10);
+  auto h = random_monic(3, prng);
+  auto pf = ring.mul(h, random_monic(2, prng));
+  auto lin = core::gcd_via_linear_algebra(ring, pf, h, prng);
+  EXPECT_EQ(lin, h);
+}
+
+}  // namespace
+}  // namespace kp
