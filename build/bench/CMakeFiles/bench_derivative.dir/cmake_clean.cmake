@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_derivative.dir/bench_derivative.cpp.o"
+  "CMakeFiles/bench_derivative.dir/bench_derivative.cpp.o.d"
+  "bench_derivative"
+  "bench_derivative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_derivative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gohberg_semencul.dir/bench_gohberg_semencul.cpp.o"
+  "CMakeFiles/bench_gohberg_semencul.dir/bench_gohberg_semencul.cpp.o.d"
+  "bench_gohberg_semencul"
+  "bench_gohberg_semencul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gohberg_semencul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

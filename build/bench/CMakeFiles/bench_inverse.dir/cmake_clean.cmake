@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_inverse.dir/bench_inverse.cpp.o"
+  "CMakeFiles/bench_inverse.dir/bench_inverse.cpp.o.d"
+  "bench_inverse"
+  "bench_inverse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_inverse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

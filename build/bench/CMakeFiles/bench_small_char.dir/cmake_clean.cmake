@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_small_char.dir/bench_small_char.cpp.o"
+  "CMakeFiles/bench_small_char.dir/bench_small_char.cpp.o.d"
+  "bench_small_char"
+  "bench_small_char.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_small_char.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

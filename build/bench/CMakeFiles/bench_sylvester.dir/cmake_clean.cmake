@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sylvester.dir/bench_sylvester.cpp.o"
+  "CMakeFiles/bench_sylvester.dir/bench_sylvester.cpp.o.d"
+  "bench_sylvester"
+  "bench_sylvester.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sylvester.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_toeplitz_charpoly.dir/bench_toeplitz_charpoly.cpp.o"
+  "CMakeFiles/bench_toeplitz_charpoly.dir/bench_toeplitz_charpoly.cpp.o.d"
+  "bench_toeplitz_charpoly"
+  "bench_toeplitz_charpoly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_toeplitz_charpoly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_wiedemann.dir/bench_wiedemann.cpp.o"
+  "CMakeFiles/bench_wiedemann.dir/bench_wiedemann.cpp.o.d"
+  "bench_wiedemann"
+  "bench_wiedemann.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wiedemann.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

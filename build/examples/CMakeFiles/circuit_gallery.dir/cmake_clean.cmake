@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/circuit_gallery.dir/circuit_gallery.cpp.o"
+  "CMakeFiles/circuit_gallery.dir/circuit_gallery.cpp.o.d"
+  "circuit_gallery"
+  "circuit_gallery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/circuit_gallery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_factor.dir/common_factor.cpp.o"
+  "CMakeFiles/common_factor.dir/common_factor.cpp.o.d"
+  "common_factor"
+  "common_factor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_factor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

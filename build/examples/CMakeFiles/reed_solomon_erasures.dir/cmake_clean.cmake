@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reed_solomon_erasures.dir/reed_solomon_erasures.cpp.o"
+  "CMakeFiles/reed_solomon_erasures.dir/reed_solomon_erasures.cpp.o.d"
+  "reed_solomon_erasures"
+  "reed_solomon_erasures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reed_solomon_erasures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resistor_network.dir/resistor_network.cpp.o"
+  "CMakeFiles/resistor_network.dir/resistor_network.cpp.o.d"
+  "resistor_network"
+  "resistor_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resistor_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spanning_trees.dir/spanning_trees.cpp.o"
+  "CMakeFiles/spanning_trees.dir/spanning_trees.cpp.o.d"
+  "spanning_trees"
+  "spanning_trees.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spanning_trees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

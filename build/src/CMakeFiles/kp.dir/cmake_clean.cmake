@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kp.dir/circuit/circuit.cpp.o"
+  "CMakeFiles/kp.dir/circuit/circuit.cpp.o.d"
+  "CMakeFiles/kp.dir/field/bigint.cpp.o"
+  "CMakeFiles/kp.dir/field/bigint.cpp.o.d"
+  "CMakeFiles/kp.dir/util/tables.cpp.o"
+  "CMakeFiles/kp.dir/util/tables.cpp.o.d"
+  "libkp.a"
+  "libkp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/build/tests/CMakeFiles/kp_tests.dir/cmake_pch.hxx.cxx" "tests/CMakeFiles/kp_tests.dir/cmake_pch.hxx.gch" "gcc" "tests/CMakeFiles/kp_tests.dir/cmake_pch.hxx.gch.d"
+  "/root/repo/build/tests/CMakeFiles/kp_tests.dir/cmake_pch.hxx" "tests/CMakeFiles/kp_tests.dir/cmake_pch.hxx.gch" "gcc" "tests/CMakeFiles/kp_tests.dir/cmake_pch.hxx.gch.d"
+  "/root/repo/tests/test_circuit.cpp" "tests/CMakeFiles/kp_tests.dir/test_circuit.cpp.o" "gcc" "tests/CMakeFiles/kp_tests.dir/test_circuit.cpp.o.d"
+  "/root/repo/build/tests/CMakeFiles/kp_tests.dir/cmake_pch.hxx" "tests/CMakeFiles/kp_tests.dir/test_circuit.cpp.o" "gcc" "tests/CMakeFiles/kp_tests.dir/test_circuit.cpp.o.d"
+  "/root/repo/tests/test_core.cpp" "tests/CMakeFiles/kp_tests.dir/test_core.cpp.o" "gcc" "tests/CMakeFiles/kp_tests.dir/test_core.cpp.o.d"
+  "/root/repo/build/tests/CMakeFiles/kp_tests.dir/cmake_pch.hxx" "tests/CMakeFiles/kp_tests.dir/test_core.cpp.o" "gcc" "tests/CMakeFiles/kp_tests.dir/test_core.cpp.o.d"
+  "/root/repo/tests/test_field.cpp" "tests/CMakeFiles/kp_tests.dir/test_field.cpp.o" "gcc" "tests/CMakeFiles/kp_tests.dir/test_field.cpp.o.d"
+  "/root/repo/build/tests/CMakeFiles/kp_tests.dir/cmake_pch.hxx" "tests/CMakeFiles/kp_tests.dir/test_field.cpp.o" "gcc" "tests/CMakeFiles/kp_tests.dir/test_field.cpp.o.d"
+  "/root/repo/tests/test_matrix.cpp" "tests/CMakeFiles/kp_tests.dir/test_matrix.cpp.o" "gcc" "tests/CMakeFiles/kp_tests.dir/test_matrix.cpp.o.d"
+  "/root/repo/build/tests/CMakeFiles/kp_tests.dir/cmake_pch.hxx" "tests/CMakeFiles/kp_tests.dir/test_matrix.cpp.o" "gcc" "tests/CMakeFiles/kp_tests.dir/test_matrix.cpp.o.d"
+  "/root/repo/tests/test_poly.cpp" "tests/CMakeFiles/kp_tests.dir/test_poly.cpp.o" "gcc" "tests/CMakeFiles/kp_tests.dir/test_poly.cpp.o.d"
+  "/root/repo/build/tests/CMakeFiles/kp_tests.dir/cmake_pch.hxx" "tests/CMakeFiles/kp_tests.dir/test_poly.cpp.o" "gcc" "tests/CMakeFiles/kp_tests.dir/test_poly.cpp.o.d"
+  "/root/repo/tests/test_pram.cpp" "tests/CMakeFiles/kp_tests.dir/test_pram.cpp.o" "gcc" "tests/CMakeFiles/kp_tests.dir/test_pram.cpp.o.d"
+  "/root/repo/build/tests/CMakeFiles/kp_tests.dir/cmake_pch.hxx" "tests/CMakeFiles/kp_tests.dir/test_pram.cpp.o" "gcc" "tests/CMakeFiles/kp_tests.dir/test_pram.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/kp_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/kp_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/build/tests/CMakeFiles/kp_tests.dir/cmake_pch.hxx" "tests/CMakeFiles/kp_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/kp_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_seq.cpp" "tests/CMakeFiles/kp_tests.dir/test_seq.cpp.o" "gcc" "tests/CMakeFiles/kp_tests.dir/test_seq.cpp.o.d"
+  "/root/repo/build/tests/CMakeFiles/kp_tests.dir/cmake_pch.hxx" "tests/CMakeFiles/kp_tests.dir/test_seq.cpp.o" "gcc" "tests/CMakeFiles/kp_tests.dir/test_seq.cpp.o.d"
+  "/root/repo/tests/test_sylvester.cpp" "tests/CMakeFiles/kp_tests.dir/test_sylvester.cpp.o" "gcc" "tests/CMakeFiles/kp_tests.dir/test_sylvester.cpp.o.d"
+  "/root/repo/build/tests/CMakeFiles/kp_tests.dir/cmake_pch.hxx" "tests/CMakeFiles/kp_tests.dir/test_sylvester.cpp.o" "gcc" "tests/CMakeFiles/kp_tests.dir/test_sylvester.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/kp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

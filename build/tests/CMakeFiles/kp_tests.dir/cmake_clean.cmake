@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kp_tests.dir/cmake_pch.hxx.gch"
+  "CMakeFiles/kp_tests.dir/cmake_pch.hxx.gch.d"
+  "CMakeFiles/kp_tests.dir/test_circuit.cpp.o"
+  "CMakeFiles/kp_tests.dir/test_circuit.cpp.o.d"
+  "CMakeFiles/kp_tests.dir/test_core.cpp.o"
+  "CMakeFiles/kp_tests.dir/test_core.cpp.o.d"
+  "CMakeFiles/kp_tests.dir/test_field.cpp.o"
+  "CMakeFiles/kp_tests.dir/test_field.cpp.o.d"
+  "CMakeFiles/kp_tests.dir/test_matrix.cpp.o"
+  "CMakeFiles/kp_tests.dir/test_matrix.cpp.o.d"
+  "CMakeFiles/kp_tests.dir/test_poly.cpp.o"
+  "CMakeFiles/kp_tests.dir/test_poly.cpp.o.d"
+  "CMakeFiles/kp_tests.dir/test_pram.cpp.o"
+  "CMakeFiles/kp_tests.dir/test_pram.cpp.o.d"
+  "CMakeFiles/kp_tests.dir/test_properties.cpp.o"
+  "CMakeFiles/kp_tests.dir/test_properties.cpp.o.d"
+  "CMakeFiles/kp_tests.dir/test_seq.cpp.o"
+  "CMakeFiles/kp_tests.dir/test_seq.cpp.o.d"
+  "CMakeFiles/kp_tests.dir/test_sylvester.cpp.o"
+  "CMakeFiles/kp_tests.dir/test_sylvester.cpp.o.d"
+  "kp_tests"
+  "kp_tests.pdb"
+  "kp_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kp_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

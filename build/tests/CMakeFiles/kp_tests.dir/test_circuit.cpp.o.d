@@ -1,0 +1,57 @@
+tests/CMakeFiles/kp_tests.dir/test_circuit.cpp.o: \
+ /root/repo/tests/test_circuit.cpp /usr/include/stdc-predef.h \
+ /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/cstdint \
+ /usr/include/c++/12/vector /root/repo/src/circuit/builders.h \
+ /root/repo/src/circuit/circuit.h /root/repo/src/field/concepts.h \
+ /usr/include/c++/12/concepts /usr/include/c++/12/string \
+ /root/repo/src/util/prng.h /usr/include/c++/12/limits \
+ /root/repo/src/circuit/derivative.h /usr/include/c++/12/cassert \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++config.h \
+ /usr/include/assert.h /usr/include/features.h \
+ /usr/include/c++/12/optional /usr/include/c++/12/queue \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_algobase.h \
+ /usr/include/c++/12/bits/allocator.h \
+ /usr/include/c++/12/bits/stl_construct.h \
+ /usr/include/c++/12/bits/stl_uninitialized.h \
+ /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/concept_check.h \
+ /usr/include/c++/12/bits/stl_iterator_base_types.h \
+ /usr/include/c++/12/bits/stl_iterator_base_funcs.h \
+ /usr/include/c++/12/initializer_list /usr/include/c++/12/compare \
+ /usr/include/c++/12/debug/assertions.h \
+ /usr/include/c++/12/bits/refwrap.h \
+ /usr/include/c++/12/bits/range_access.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/stl_function.h \
+ /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/debug/debug.h \
+ /usr/include/c++/12/bits/uses_allocator.h /root/repo/src/circuit/field.h \
+ /root/repo/src/poly/poly.h /root/repo/src/poly/ntt.h \
+ /usr/include/c++/12/unordered_map /root/repo/src/field/primes.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_algobase.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/bits/ranges_base.h \
+ /usr/include/c++/12/bits/utility.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /usr/include/c++/12/bits/stl_pair.h \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/numeric \
+ /usr/include/c++/12/bits/stl_numeric.h /usr/include/c++/12/bits/move.h \
+ /usr/include/c++/12/type_traits /usr/include/c++/12/bit \
+ /usr/include/c++/12/ext/numeric_traits.h \
+ /usr/include/c++/12/pstl/glue_numeric_defs.h /root/repo/src/field/zp.h \
+ /usr/include/c++/12/utility /root/repo/src/util/op_count.h \
+ /root/repo/src/poly/poly_ring.h /root/repo/src/poly/series.h \
+ /root/repo/src/poly/interp.h /root/repo/src/poly/trunc_series.h \
+ /root/repo/src/poly/gfpk_ntt.h /root/repo/src/field/gfpk.h \
+ /root/repo/src/core/solver.h /root/repo/src/core/annihilator.h \
+ /root/repo/src/matrix/blackbox.h /usr/include/c++/12/cstddef \
+ /usr/include/c++/12/memory /root/repo/src/matrix/dense.h \
+ /root/repo/src/matrix/sparse.h /root/repo/src/matrix/structured.h \
+ /root/repo/src/core/krylov.h /root/repo/src/matrix/matmul.h \
+ /root/repo/src/core/preconditioners.h \
+ /root/repo/src/seq/newton_toeplitz.h \
+ /root/repo/src/seq/gohberg_semencul.h /root/repo/src/matrix/gauss.h \
+ /root/repo/src/seq/newton_identities.h /root/repo/src/circuit/dot.h \
+ /root/repo/src/core/baselines.h

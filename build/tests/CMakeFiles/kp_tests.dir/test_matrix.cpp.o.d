@@ -1,0 +1,67 @@
+tests/CMakeFiles/kp_tests.dir/test_matrix.cpp.o: \
+ /root/repo/tests/test_matrix.cpp /usr/include/stdc-predef.h \
+ /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/cstdint \
+ /usr/include/c++/12/vector /root/repo/src/field/rational.h \
+ /usr/include/c++/12/cassert \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++config.h \
+ /usr/include/assert.h /usr/include/features.h /usr/include/c++/12/string \
+ /root/repo/src/field/bigint.h /root/repo/src/util/op_count.h \
+ /root/repo/src/util/prng.h /usr/include/c++/12/limits \
+ /root/repo/src/field/zp.h /usr/include/c++/12/utility \
+ /root/repo/src/field/concepts.h /usr/include/c++/12/concepts \
+ /root/repo/src/matrix/blackbox.h /usr/include/c++/12/cstddef \
+ /usr/include/c++/12/memory /root/repo/src/matrix/dense.h \
+ /root/repo/src/matrix/sparse.h /root/repo/src/matrix/structured.h \
+ /root/repo/src/poly/poly.h /root/repo/src/poly/ntt.h \
+ /usr/include/c++/12/unordered_map /root/repo/src/field/primes.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algobase.h \
+ /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_algobase.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/bits/ranges_base.h \
+ /usr/include/c++/12/bits/utility.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /usr/include/c++/12/bits/stl_pair.h \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/numeric \
+ /usr/include/c++/12/bits/stl_iterator_base_types.h \
+ /usr/include/c++/12/bits/stl_numeric.h \
+ /usr/include/c++/12/bits/concept_check.h \
+ /usr/include/c++/12/debug/debug.h /usr/include/c++/12/bits/move.h \
+ /usr/include/c++/12/type_traits /usr/include/c++/12/bit \
+ /usr/include/c++/12/ext/numeric_traits.h \
+ /usr/include/c++/12/bits/stl_function.h \
+ /usr/include/c++/12/pstl/glue_numeric_defs.h \
+ /root/repo/src/poly/poly_ring.h /root/repo/src/poly/series.h \
+ /root/repo/src/poly/interp.h /root/repo/src/poly/trunc_series.h \
+ /root/repo/src/poly/gfpk_ntt.h /root/repo/src/field/gfpk.h \
+ /root/repo/src/matrix/gauss.h /usr/include/c++/12/optional \
+ /root/repo/src/matrix/matmul.h /root/repo/src/matrix/matpoly.h \
+ /usr/include/c++/12/cmath /usr/include/c++/12/bits/cpp_type_traits.h \
+ /usr/include/c++/12/ext/type_traits.h /usr/include/math.h \
+ /usr/include/x86_64-linux-gnu/bits/libc-header-start.h \
+ /usr/include/x86_64-linux-gnu/bits/types.h \
+ /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
+ /usr/include/x86_64-linux-gnu/bits/floatn.h \
+ /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
+ /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
+ /usr/include/x86_64-linux-gnu/bits/fp-fast.h \
+ /usr/include/x86_64-linux-gnu/bits/mathcalls-helper-functions.h \
+ /usr/include/x86_64-linux-gnu/bits/mathcalls.h \
+ /usr/include/x86_64-linux-gnu/bits/mathcalls-narrow.h \
+ /usr/include/x86_64-linux-gnu/bits/iscanonical.h \
+ /usr/include/c++/12/bits/std_abs.h /usr/include/c++/12/bits/specfun.h \
+ /usr/include/c++/12/tr1/gamma.tcc \
+ /usr/include/c++/12/tr1/special_function_util.h \
+ /usr/include/c++/12/tr1/bessel_function.tcc \
+ /usr/include/c++/12/tr1/beta_function.tcc \
+ /usr/include/c++/12/tr1/ell_integral.tcc \
+ /usr/include/c++/12/tr1/exp_integral.tcc \
+ /usr/include/c++/12/tr1/hypergeometric.tcc \
+ /usr/include/c++/12/tr1/legendre_function.tcc \
+ /usr/include/c++/12/tr1/modified_bessel_func.tcc \
+ /usr/include/c++/12/tr1/poly_hermite.tcc \
+ /usr/include/c++/12/tr1/poly_laguerre.tcc \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc

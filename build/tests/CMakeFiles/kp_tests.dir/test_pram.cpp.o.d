@@ -1,0 +1,57 @@
+tests/CMakeFiles/kp_tests.dir/test_pram.cpp.o: \
+ /root/repo/tests/test_pram.cpp /usr/include/stdc-predef.h \
+ /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/atomic \
+ /usr/include/c++/12/numeric \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++config.h \
+ /usr/include/c++/12/bits/stl_iterator_base_types.h \
+ /usr/include/c++/12/bits/stl_numeric.h \
+ /usr/include/c++/12/bits/concept_check.h \
+ /usr/include/c++/12/debug/debug.h /usr/include/c++/12/bits/move.h \
+ /usr/include/c++/12/type_traits /usr/include/c++/12/bit \
+ /usr/include/c++/12/ext/numeric_traits.h \
+ /usr/include/c++/12/bits/stl_function.h /usr/include/c++/12/limits \
+ /usr/include/c++/12/pstl/glue_numeric_defs.h \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/vector \
+ /root/repo/src/field/zp.h /usr/include/c++/12/cassert \
+ /usr/include/assert.h /usr/include/features.h \
+ /usr/include/c++/12/cstdint /usr/include/c++/12/string \
+ /usr/include/c++/12/utility /root/repo/src/field/concepts.h \
+ /usr/include/c++/12/concepts /root/repo/src/util/prng.h \
+ /root/repo/src/util/op_count.h /root/repo/src/matrix/dense.h \
+ /root/repo/src/matrix/gauss.h /usr/include/c++/12/optional \
+ /root/repo/src/pram/parallel_for.h /usr/include/c++/12/cstddef \
+ /usr/include/c++/12/functional /usr/include/c++/12/thread \
+ /usr/include/c++/12/compare /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/iosfwd \
+ /usr/include/c++/12/tuple /usr/include/c++/12/bits/functional_hash.h \
+ /usr/include/c++/12/bits/invoke.h /usr/include/c++/12/bits/refwrap.h \
+ /usr/include/c++/12/bits/unique_ptr.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/gthr.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_base.h /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime /usr/include/time.h \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/atomic_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h /usr/include/c++/12/cerrno \
+ /usr/include/errno.h /usr/include/x86_64-linux-gnu/sys/time.h \
+ /usr/include/x86_64-linux-gnu/bits/types.h \
+ /usr/include/x86_64-linux-gnu/bits/types/time_t.h \
+ /usr/include/x86_64-linux-gnu/bits/types/struct_timeval.h \
+ /usr/include/x86_64-linux-gnu/sys/select.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/limits.h \
+ /usr/include/semaphore.h /usr/include/x86_64-linux-gnu/sys/types.h \
+ /usr/include/x86_64-linux-gnu/bits/types/struct_timespec.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/wordsize.h \
+ /root/repo/src/pram/work_depth.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/stl_algobase.h \
+ /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_algobase.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/bits/ranges_base.h \
+ /usr/include/c++/12/bits/utility.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /usr/include/c++/12/bits/stl_pair.h

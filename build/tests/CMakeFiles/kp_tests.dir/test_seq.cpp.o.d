@@ -1,0 +1,42 @@
+tests/CMakeFiles/kp_tests.dir/test_seq.cpp.o: \
+ /root/repo/tests/test_seq.cpp /usr/include/stdc-predef.h \
+ /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/cstdint \
+ /usr/include/c++/12/vector /root/repo/src/field/gfpk.h \
+ /usr/include/c++/12/cassert \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++config.h \
+ /usr/include/assert.h /usr/include/features.h /usr/include/c++/12/string \
+ /root/repo/src/field/concepts.h /usr/include/c++/12/concepts \
+ /root/repo/src/util/prng.h /usr/include/c++/12/limits \
+ /root/repo/src/field/primes.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/stl_algobase.h \
+ /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_algobase.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/bits/ranges_base.h \
+ /usr/include/c++/12/bits/utility.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /usr/include/c++/12/bits/stl_pair.h \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/numeric \
+ /usr/include/c++/12/bits/stl_iterator_base_types.h \
+ /usr/include/c++/12/bits/stl_numeric.h \
+ /usr/include/c++/12/bits/concept_check.h \
+ /usr/include/c++/12/debug/debug.h /usr/include/c++/12/bits/move.h \
+ /usr/include/c++/12/type_traits /usr/include/c++/12/bit \
+ /usr/include/c++/12/ext/numeric_traits.h \
+ /usr/include/c++/12/bits/stl_function.h \
+ /usr/include/c++/12/pstl/glue_numeric_defs.h /root/repo/src/field/zp.h \
+ /usr/include/c++/12/utility /root/repo/src/util/op_count.h \
+ /root/repo/src/field/rational.h /root/repo/src/field/bigint.h \
+ /root/repo/src/matrix/gauss.h /usr/include/c++/12/optional \
+ /root/repo/src/matrix/dense.h /root/repo/src/matrix/matmul.h \
+ /usr/include/c++/12/cstddef /root/repo/src/matrix/structured.h \
+ /root/repo/src/poly/poly.h /root/repo/src/poly/ntt.h \
+ /usr/include/c++/12/unordered_map /root/repo/src/poly/poly_ring.h \
+ /root/repo/src/poly/series.h /root/repo/src/poly/interp.h \
+ /root/repo/src/poly/trunc_series.h /root/repo/src/poly/gfpk_ntt.h \
+ /root/repo/src/seq/berlekamp_massey.h \
+ /root/repo/src/seq/gohberg_semencul.h /root/repo/src/seq/linear_gen.h \
+ /root/repo/src/seq/newton_identities.h \
+ /root/repo/src/seq/newton_toeplitz.h
