@@ -30,6 +30,11 @@ class CircuitBuilderField {
  public:
   using Element = NodeId;
 
+  /// Recording mutates the shared Circuit arena and node ids depend on
+  /// creation order, so the parallel kernels must run this domain serially
+  /// (see kp::field::concurrent_ops_v).
+  static constexpr bool kSequentialOnly = true;
+
   /// `characteristic` is the characteristic of the field the circuit will
   /// be evaluated over; it gates the Leverrier precondition exactly as for
   /// a concrete field.

@@ -6,17 +6,38 @@
 // Krylov block (v, Av, ..., A^{count-1} v) in O(log count) matrix products,
 // i.e. O(n^omega log n) work and O(log^2 n) depth -- this is where the
 // pipeline earns its processor efficiency over the naive 2n sequential
-// matrix-vector products (which matrix/blackbox.h provides as the
-// sequential baseline, ablated in bench_ablation).
+// matrix-vector products (route (8), which krylov_block_iterative provides
+// for black-box operators whose products are cheaper than dense ones).
+// KrylovRoute names the two routes; the Theorem-4 solver picks per operator
+// structure.
 #pragma once
 
 #include <cassert>
 #include <vector>
 
+#include "matrix/blackbox.h"
 #include "matrix/dense.h"
 #include "matrix/matmul.h"
+#include "pram/parallel_for.h"
 
 namespace kp::core {
+
+/// Which route produces the Krylov data of the Theorem-4 pipeline.
+enum class KrylovRoute {
+  kAuto,       ///< doubling for dense operators, iterative otherwise
+  kDoubling,   ///< equation (9): O(log n) matrix products
+  kIterative,  ///< route (8): 2n black-box products
+};
+
+/// Resolves kAuto against the operator's structure hint: a dense operator
+/// amortizes into the doubling route, while for sparse/structured operators
+/// n black-box products beat an O(n^omega log n) dense doubling.
+inline KrylovRoute resolve_route(KrylovRoute requested,
+                                 matrix::BoxStructure structure) {
+  if (requested != KrylovRoute::kAuto) return requested;
+  return structure == matrix::BoxStructure::kDense ? KrylovRoute::kDoubling
+                                                   : KrylovRoute::kIterative;
+}
 
 /// Returns the n x count Krylov block K with K(:, i) = A^i v, built by
 /// doubling.
@@ -34,14 +55,21 @@ matrix::Matrix<F> krylov_block(const F& f, const matrix::Matrix<F>& a,
 
   matrix::Matrix<F> pw = a;  // A^{2^j}
   while (block.cols() < count) {
-    // [block | A^{2^j} * block]
+    // [block | A^{2^j} * block]: the merge copies disjoint rows, so it runs
+    // on the pooled ExecutionContext for large blocks.
     const auto ext = matrix::mat_mul(f, pw, block, strategy);
     matrix::Matrix<F> merged(n, 2 * block.cols(), f.zero());
-    for (std::size_t i = 0; i < n; ++i) {
-      for (std::size_t j = 0; j < block.cols(); ++j) {
+    const std::size_t cols = block.cols();
+    auto merge_row = [&](std::size_t i) {
+      for (std::size_t j = 0; j < cols; ++j) {
         merged.at(i, j) = block.at(i, j);
-        merged.at(i, block.cols() + j) = ext.at(i, j);
+        merged.at(i, cols + j) = ext.at(i, j);
       }
+    };
+    if (kp::field::concurrent_ops_v<F> && n * cols >= matrix::kParallelGrain) {
+      kp::pram::parallel_for(0, n, merge_row);
+    } else {
+      for (std::size_t i = 0; i < n; ++i) merge_row(i);
     }
     block = std::move(merged);
     if (block.cols() < count) pw = matrix::mat_mul(f, pw, pw, strategy);
@@ -52,6 +80,24 @@ matrix::Matrix<F> krylov_block(const F& f, const matrix::Matrix<F>& a,
       for (std::size_t j = 0; j < count; ++j) trimmed.at(i, j) = block.at(i, j);
     }
     block = std::move(trimmed);
+  }
+  return block;
+}
+
+/// The same n x count Krylov block built with count-1 black-box products
+/// (route (8)) -- the right choice when one product costs o(n^2), e.g.
+/// O(nnz) sparse or O(M(n)) structured operators.
+template <kp::field::Field F, matrix::LinOp B>
+matrix::Matrix<F> krylov_block_iterative(const F& f, const B& box,
+                                         const std::vector<typename F::Element>& v,
+                                         std::size_t count) {
+  assert(box.dim() == v.size());
+  const std::size_t n = box.dim();
+  matrix::Matrix<F> block(n, count ? count : 1, f.zero());
+  auto x = v;
+  for (std::size_t j = 0; j < count; ++j) {
+    if (j) x = box.apply(x);
+    for (std::size_t i = 0; i < n; ++i) block.at(i, j) = x[i];
   }
   return block;
 }

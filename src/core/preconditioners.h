@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "field/concepts.h"
+#include "matrix/blackbox.h"
 #include "matrix/dense.h"
 #include "matrix/structured.h"
 #include "poly/poly.h"
@@ -53,6 +54,17 @@ struct Preconditioner {
       for (std::size_t j = 0; j < n; ++j) out.at(i, j) = f.mul(hrow[j], d[j]);
     }
     return out;
+  }
+
+  /// Lazy A-tilde = A * H * D over any black-box operator: each product is
+  /// one product with A plus O(M(n)); the dense n x n A-tilde is never
+  /// formed.  The returned box views `a` (and this preconditioner's H, D by
+  /// value), so `a` must outlive it.
+  template <matrix::LinOp B>
+  matrix::PreconditionedBox<F, B> box(const F& f,
+                                      const kp::poly::PolyRing<F>& ring,
+                                      const B& a) const {
+    return matrix::PreconditionedBox<F, B>(f, ring, a, hankel, diagonal);
   }
 
   /// x = H * (D * y): maps a solution of A-tilde x-tilde = b back to the

@@ -5,7 +5,10 @@
 //
 //   1. Draw the random Hankel H, diagonal D, row vector u, column vector v
 //      with entries from S; form A-tilde = A H D.               [Theorem 2]
-//   2. a_i = u A-tilde^i v for i < 2n via Krylov doubling (9).  [O(n^w log n)]
+//   2. a_i = u A-tilde^i v for i < 2n, either via Krylov doubling (9)
+//      [O(n^w log n), the processor-efficient dense route] or via 2n
+//      black-box products (8) [the cheap route when one product costs
+//      o(n^2): sparse O(nnz), structured O(M(n))].
 //   3. T = Toeplitz(a_0..a_{2n-2}) (Lemma 1); find charpoly(T)  [Theorem 3]
 //      and solve T c = (a_n..a_{2n-1}) by Cayley-Hamilton on T.
 //   4. c is w.h.p. the characteristic polynomial of A-tilde     [est. (2)];
@@ -13,6 +16,12 @@
 //      x-tilde = A-tilde^{-1} b, and x = H D x-tilde.
 //   5. det(A) = (-1)^n g(0) / (det(H) det(D)), det(H) via the row-mirror
 //      Toeplitz and Theorem 3.
+//
+// Every stage touches A only through matrix-vector products, so kp_solve /
+// kp_det accept any matrix::LinOp; dense matrix::Matrix<F> call sites keep
+// working through an adapter overload that wraps a DenseBox.  The
+// preconditioned operator is composed lazily (PreconditionedBox); only the
+// dense doubling route materializes A-tilde.
 //
 // Failure (a would-be division by zero in the circuit model) is detected
 // and reported; on non-singular inputs its probability is <= 3n^2/|S| per
@@ -28,6 +37,7 @@
 #include "core/krylov.h"
 #include "core/preconditioners.h"
 #include "field/concepts.h"
+#include "matrix/blackbox.h"
 #include "matrix/dense.h"
 #include "matrix/matmul.h"
 #include "seq/newton_toeplitz.h"
@@ -42,6 +52,11 @@ struct SolverOptions {
   bool verify = true;                      ///< check A x = b before returning
   matrix::MatMulStrategy matmul = matrix::MatMulStrategy::kClassical;
   seq::NewtonIdentityMethod newton = seq::NewtonIdentityMethod::kTriangularSolve;
+  /// How the Krylov data of steps 2 and 4 is produced.  kAuto keys off the
+  /// operator's BoxStructure: doubling (9) for dense operators, iterative
+  /// (8) for sparse/structured ones where n black-box products beat an
+  /// O(n^omega log n) dense doubling.
+  KrylovRoute route = KrylovRoute::kAuto;
   /// Replace the two O(n)-deep sequential finishes (the Toeplitz
   /// Cayley-Hamilton iteration and the triangular Newton-identity solve)
   /// with their doubling / power-series counterparts, so that the realized
@@ -58,24 +73,19 @@ struct SolveResult {
   typename F::Element det{};                ///< det(A) (always computed)
   std::vector<typename F::Element> charpoly_at;  ///< charpoly of A-tilde
   int attempts = 0;
+  KrylovRoute route_used = KrylovRoute::kAuto;   ///< resolved route
 };
 
 namespace detail {
 
-/// One attempt of the pipeline; returns the generator of the projected
-/// sequence (monic, degree n, g(0) != 0) or empty on failure.
+/// Steps 3-4a of one attempt: from the projected sequence a_0..a_{2n-1} of
+/// the preconditioned operator, recover the generator (monic, degree n,
+/// g(0) != 0) through Lemma 1 and the Theorem-3 Toeplitz machinery; empty on
+/// failure (unlucky projection or singular input).
 template <kp::field::Field F>
-std::vector<typename F::Element> generator_of_preconditioned(
-    const F& f, const matrix::Matrix<F>& at, kp::util::Prng& prng,
+std::vector<typename F::Element> generator_from_sequence(
+    const F& f, const std::vector<typename F::Element>& seq, std::size_t n,
     const SolverOptions& opt, const kp::poly::PolyRing<F>& ring) {
-  const std::size_t n = at.rows();
-  std::vector<typename F::Element> u(n), v(n);
-  for (auto& e : u) e = f.sample(prng, opt.sample_size);
-  for (auto& e : v) e = f.sample(prng, opt.sample_size);
-
-  // a_i = u A-tilde^i v by doubling (9).
-  const auto seq = krylov_sequence_doubling(f, at, u, v, 2 * n, opt.matmul);
-
   // Lemma 1: T = T_n of the sequence; solve T y = (a_n .. a_{2n-1}) through
   // the Theorem-3 characteristic polynomial of T.
   auto t = matrix::Toeplitz<F>::from_sequence(n, seq);
@@ -104,31 +114,66 @@ std::vector<typename F::Element> generator_of_preconditioned(
   return g;
 }
 
+/// Dense A-tilde for the doubling route: the O(n^2 polylog) Hankel-product
+/// formation when the box exposes its dense matrix, otherwise n black-box
+/// products (identical values either way -- exact arithmetic).
+template <kp::field::Field F, matrix::LinOp B>
+matrix::Matrix<F> dense_preconditioned(const F& f,
+                                       const kp::poly::PolyRing<F>& ring,
+                                       const B& a, const Preconditioner<F>& pre) {
+  if constexpr (requires {
+                  { a.matrix() } -> std::convertible_to<const matrix::Matrix<F>&>;
+                }) {
+    return pre.apply_dense(f, ring, a.matrix());
+  } else {
+    return matrix::materialize_dense(f, pre.box(f, ring, a));
+  }
+}
+
 }  // namespace detail
 
-/// Solves A x = b (and computes det A) with the Theorem-4 pipeline.
-template <kp::field::Field F>
-SolveResult<F> kp_solve(const F& f, const matrix::Matrix<F>& a,
+/// Solves A x = b (and computes det A) with the Theorem-4 pipeline, for any
+/// black-box operator A.
+template <kp::field::Field F, matrix::LinOp B>
+  requires std::same_as<typename B::Element, typename F::Element>
+SolveResult<F> kp_solve(const F& f, const B& a,
                         const std::vector<typename F::Element>& b,
                         kp::util::Prng& prng, SolverOptions opt = {}) {
-  const std::size_t n = a.rows();
+  const std::size_t n = a.dim();
   SolveResult<F> res;
   kp::poly::PolyRing<F> ring(f);
+  const auto route = resolve_route(opt.route, matrix::box_structure(a));
+  res.route_used = route;
 
   for (res.attempts = 1; res.attempts <= opt.max_attempts; ++res.attempts) {
     const auto pre = Preconditioner<F>::draw(f, n, prng, opt.sample_size);
-    const auto at = pre.apply_dense(f, ring, a);
+    std::vector<typename F::Element> u(n), v(n);
+    for (auto& e : u) e = f.sample(prng, opt.sample_size);
+    for (auto& e : v) e = f.sample(prng, opt.sample_size);
 
-    auto g = detail::generator_of_preconditioned(f, at, prng, opt, ring);
-    if (g.empty()) continue;
+    std::vector<typename F::Element> xt;  // A-tilde^{-1} b
+    std::vector<typename F::Element> g;   // charpoly of A-tilde
+    if (route == KrylovRoute::kDoubling) {
+      const auto at = detail::dense_preconditioned(f, ring, a, pre);
+      // a_i = u A-tilde^i v by doubling (9).
+      const auto seq = krylov_sequence_doubling(f, at, u, v, 2 * n, opt.matmul);
+      g = detail::generator_from_sequence(f, seq, n, opt, ring);
+      if (g.empty()) continue;
+      // Cayley-Hamilton solve of A-tilde xt = b through the Krylov block.
+      const auto q = solution_combination(f, g);
+      const auto block = krylov_block(f, at, b, n, opt.matmul);
+      xt = krylov_combine(f, block, q);
+    } else {
+      // Route (8): 2n products with the lazily composed A*H*D.
+      const auto at = pre.box(f, ring, a);
+      const auto seq = matrix::krylov_sequence_iterative(f, at, u, v, 2 * n);
+      g = detail::generator_from_sequence(f, seq, n, opt, ring);
+      if (g.empty()) continue;
+      xt = solve_from_annihilator(f, at, g, b);
+    }
 
-    // Cayley-Hamilton solve of A-tilde x-tilde = b through the Krylov block.
-    const auto q = solution_combination(f, g);
-    const auto block = krylov_block(f, at, b, n, opt.matmul);
-    auto xt = krylov_combine(f, block, q);
     auto x = pre.unprecondition(f, ring, xt);
-
-    if (opt.verify && matrix::mat_vec(f, a, x) != b) continue;
+    if (opt.verify && a.apply(x) != b) continue;
 
     // det(A-tilde) = (-1)^n g(0); divide out the preconditioner.
     auto det_at = (n % 2 == 0) ? g[0] : f.neg(g[0]);
@@ -142,16 +187,30 @@ SolveResult<F> kp_solve(const F& f, const matrix::Matrix<F>& a,
 }
 
 /// Determinant only (same pipeline, no right-hand side).
-template <kp::field::Field F>
-SolveResult<F> kp_det(const F& f, const matrix::Matrix<F>& a,
-                      kp::util::Prng& prng, SolverOptions opt = {}) {
-  const std::size_t n = a.rows();
+template <kp::field::Field F, matrix::LinOp B>
+  requires std::same_as<typename B::Element, typename F::Element>
+SolveResult<F> kp_det(const F& f, const B& a, kp::util::Prng& prng,
+                      SolverOptions opt = {}) {
+  const std::size_t n = a.dim();
   SolveResult<F> res;
   kp::poly::PolyRing<F> ring(f);
+  const auto route = resolve_route(opt.route, matrix::box_structure(a));
+  res.route_used = route;
   for (res.attempts = 1; res.attempts <= opt.max_attempts; ++res.attempts) {
     const auto pre = Preconditioner<F>::draw(f, n, prng, opt.sample_size);
-    const auto at = pre.apply_dense(f, ring, a);
-    auto g = detail::generator_of_preconditioned(f, at, prng, opt, ring);
+    std::vector<typename F::Element> u(n), v(n);
+    for (auto& e : u) e = f.sample(prng, opt.sample_size);
+    for (auto& e : v) e = f.sample(prng, opt.sample_size);
+
+    std::vector<typename F::Element> seq;
+    if (route == KrylovRoute::kDoubling) {
+      const auto at = detail::dense_preconditioned(f, ring, a, pre);
+      seq = krylov_sequence_doubling(f, at, u, v, 2 * n, opt.matmul);
+    } else {
+      const auto at = pre.box(f, ring, a);
+      seq = matrix::krylov_sequence_iterative(f, at, u, v, 2 * n);
+    }
+    auto g = detail::generator_from_sequence(f, seq, n, opt, ring);
     if (g.empty()) continue;
     auto det_at = (n % 2 == 0) ? g[0] : f.neg(g[0]);
     res.det = f.div(det_at, pre.det(f, opt.newton));
@@ -160,6 +219,25 @@ SolveResult<F> kp_det(const F& f, const matrix::Matrix<F>& a,
     return res;
   }
   return res;
+}
+
+/// Dense-matrix adapter: existing call sites keep their signature; the
+/// matrix is wrapped in a DenseBox (kAuto then resolves to the doubling
+/// route, reproducing the historical dense pipeline exactly).
+template <kp::field::Field F>
+SolveResult<F> kp_solve(const F& f, const matrix::Matrix<F>& a,
+                        const std::vector<typename F::Element>& b,
+                        kp::util::Prng& prng, SolverOptions opt = {}) {
+  const matrix::DenseViewBox<F> box(f, a);
+  return kp_solve(f, box, b, prng, opt);
+}
+
+/// Dense-matrix adapter for the determinant.
+template <kp::field::Field F>
+SolveResult<F> kp_det(const F& f, const matrix::Matrix<F>& a,
+                      kp::util::Prng& prng, SolverOptions opt = {}) {
+  const matrix::DenseViewBox<F> box(f, a);
+  return kp_det(f, box, prng, opt);
 }
 
 }  // namespace kp::core

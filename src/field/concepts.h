@@ -64,4 +64,14 @@ bool supports_leverrier(const F& f, std::size_t n) {
   return p == 0 || p > n;
 }
 
+/// Whether the data-parallel kernels (mat_mul, mat_vec, sparse apply, ...)
+/// may issue this domain's operations from several pooled threads at once.
+/// True for value-semantic domains (Z/pZ, GF(p^k), Q); a domain that records
+/// operations into shared state -- the circuit builder, whose node ids are
+/// creation-order dependent -- opts out by declaring
+/// `static constexpr bool kSequentialOnly = true;`.
+template <class R>
+inline constexpr bool concurrent_ops_v =
+    !requires { requires static_cast<bool>(R::kSequentialOnly); };
+
 }  // namespace kp::field

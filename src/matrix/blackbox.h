@@ -5,12 +5,17 @@
 // LinOp concept.  Adapters wrap the concrete matrix kinds (dense, sparse,
 // Toeplitz, Hankel, diagonal) and compose (products, transposes, shifts),
 // which is how the preconditioned operator A*H*D of Theorem 2 is formed
-// without ever materializing it.
+// without ever materializing it.  AnyBox type-erases the concept for
+// runtime backend dispatch, and every box advertises a BoxStructure hint
+// that the Theorem-4 solver uses to choose between the doubling route (9)
+// and the iterative route (8).
 #pragma once
 
+#include <cassert>
 #include <concepts>
 #include <cstddef>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "matrix/dense.h"
@@ -28,11 +33,44 @@ concept LinOp = requires(const B b, const std::vector<typename B::Element>& x) {
   { b.apply(x) } -> std::convertible_to<std::vector<typename B::Element>>;
 };
 
+/// A LinOp that can also apply its transpose (needed by the rank/nullspace
+/// extensions and by transposed composed preconditioners).
+template <class B>
+concept TransposableLinOp =
+    LinOp<B> && requires(const B b, const std::vector<typename B::Element>& x) {
+      { b.apply_transpose(x) } -> std::convertible_to<std::vector<typename B::Element>>;
+    };
+
+/// Coarse structure classes; the solver's route selection keys off them:
+/// a dense operator amortizes into the O(n^omega log n) doubling route (9),
+/// while sparse/structured operators are cheaper through 2n black-box
+/// products (route (8)).
+enum class BoxStructure {
+  kDense,       ///< O(n^2) per product
+  kSparse,      ///< O(nnz) per product
+  kStructured,  ///< O(M(n)) per product (Toeplitz, Hankel, diagonal)
+  kUnknown,     ///< composition / external operator
+};
+
+/// Structure hint of a box: its structure() member if present, else its
+/// static kStructure tag, else kUnknown.
+template <LinOp B>
+BoxStructure box_structure(const B& b) {
+  if constexpr (requires { { b.structure() } -> std::convertible_to<BoxStructure>; }) {
+    return b.structure();
+  } else if constexpr (requires { { B::kStructure } -> std::convertible_to<BoxStructure>; }) {
+    return B::kStructure;
+  } else {
+    return BoxStructure::kUnknown;
+  }
+}
+
 /// Dense matrix as a black box.
 template <kp::field::CommutativeRing R>
 class DenseBox {
  public:
   using Element = typename R::Element;
+  static constexpr BoxStructure kStructure = BoxStructure::kDense;
   DenseBox(const R& r, Matrix<R> a) : r_(&r), a_(std::move(a)) {
     assert(a_.is_square());
   }
@@ -50,11 +88,37 @@ class DenseBox {
   Matrix<R> a_;
 };
 
+/// Non-owning dense view: what the solver's dense-matrix adapter overloads
+/// wrap, so accepting a Matrix<F> costs no copy.  The matrix must outlive
+/// the view.
+template <kp::field::CommutativeRing R>
+class DenseViewBox {
+ public:
+  using Element = typename R::Element;
+  static constexpr BoxStructure kStructure = BoxStructure::kDense;
+  DenseViewBox(const R& r, const Matrix<R>& a) : r_(&r), a_(&a) {
+    assert(a.is_square());
+  }
+  std::size_t dim() const { return a_->rows(); }
+  std::vector<Element> apply(const std::vector<Element>& x) const {
+    return mat_vec(*r_, *a_, x);
+  }
+  std::vector<Element> apply_transpose(const std::vector<Element>& x) const {
+    return vec_mat(*r_, x, *a_);
+  }
+  const Matrix<R>& matrix() const { return *a_; }
+
+ private:
+  const R* r_;
+  const Matrix<R>* a_;
+};
+
 /// CSR sparse matrix as a black box.
 template <kp::field::CommutativeRing R>
 class SparseBox {
  public:
   using Element = typename R::Element;
+  static constexpr BoxStructure kStructure = BoxStructure::kSparse;
   SparseBox(const R& r, Sparse<R> a) : r_(&r), a_(std::move(a)) {
     assert(a_.rows() == a_.cols());
   }
@@ -77,6 +141,7 @@ template <kp::field::Field F>
 class ToeplitzBox {
  public:
   using Element = typename F::Element;
+  static constexpr BoxStructure kStructure = BoxStructure::kStructured;
   ToeplitzBox(const kp::poly::PolyRing<F>& ring, Toeplitz<F> t)
       : ring_(&ring), t_(std::move(t)) {}
   std::size_t dim() const { return t_.dim(); }
@@ -97,6 +162,7 @@ template <kp::field::Field F>
 class HankelBox {
  public:
   using Element = typename F::Element;
+  static constexpr BoxStructure kStructure = BoxStructure::kStructured;
   HankelBox(const kp::poly::PolyRing<F>& ring, Hankel<F> h)
       : ring_(&ring), h_(std::move(h)) {}
   std::size_t dim() const { return h_.dim(); }
@@ -118,6 +184,7 @@ template <kp::field::CommutativeRing R>
 class DiagonalBox {
  public:
   using Element = typename R::Element;
+  static constexpr BoxStructure kStructure = BoxStructure::kStructured;
   DiagonalBox(const R& r, Diagonal<R> d) : r_(&r), d_(std::move(d)) {}
   std::size_t dim() const { return d_.dim(); }
   std::vector<Element> apply(const std::vector<Element>& x) const {
@@ -147,6 +214,20 @@ class ProductBox {
   std::vector<Element> apply(const std::vector<Element>& x) const {
     return a_.apply(b_.apply(x));
   }
+  /// (A B)^T x = B^T (A^T x): transposition reverses the composition.
+  std::vector<Element> apply_transpose(const std::vector<Element>& x) const
+    requires TransposableLinOp<A> && TransposableLinOp<B>
+  {
+    return b_.apply_transpose(a_.apply_transpose(x));
+  }
+  /// Cost of a product is dominated by the denser factor.
+  BoxStructure structure() const {
+    const auto sa = box_structure(a_), sb = box_structure(b_);
+    if (sa == BoxStructure::kUnknown || sb == BoxStructure::kUnknown) {
+      return BoxStructure::kUnknown;
+    }
+    return sa > sb ? sb : sa;  // enum order: dense < sparse < structured
+  }
 
  private:
   A a_;
@@ -154,7 +235,7 @@ class ProductBox {
 };
 
 /// Transpose view of a box that supports apply_transpose.
-template <class B>
+template <TransposableLinOp B>
 class TransposeBox {
  public:
   using Element = typename B::Element;
@@ -166,10 +247,131 @@ class TransposeBox {
   std::vector<Element> apply_transpose(const std::vector<Element>& x) const {
     return b_.apply(x);
   }
+  BoxStructure structure() const { return box_structure(b_); }
 
  private:
   B b_;
 };
+
+/// The Theorem-2 preconditioned operator A*H*D, composed lazily: one inner
+/// product with A plus one O(M(n)) Hankel product (polynomial
+/// multiplication) plus n diagonal scalings per apply -- the dense n x n
+/// product A*H*D is never materialized.  Holds a non-owning view of the
+/// inner operator (the solver keeps it alive for the attempt's duration);
+/// H and D are owned.
+template <kp::field::Field F, LinOp B>
+  requires std::same_as<typename B::Element, typename F::Element>
+class PreconditionedBox {
+ public:
+  using Element = typename F::Element;
+  PreconditionedBox(const F& f, const kp::poly::PolyRing<F>& ring,
+                    const B& inner, Hankel<F> h, Diagonal<F> d)
+      : f_(&f), ring_(&ring), inner_(&inner), h_(std::move(h)), d_(std::move(d)) {
+    assert(inner.dim() == h_.dim() && h_.dim() == d_.dim());
+  }
+  std::size_t dim() const { return h_.dim(); }
+  /// (A H D) x = A (H (D x)).
+  std::vector<Element> apply(const std::vector<Element>& x) const {
+    return inner_->apply(h_.apply(*ring_, d_.apply(*f_, x)));
+  }
+  /// (A H D)^T x = D (H (A^T x)) since H and D are symmetric.
+  std::vector<Element> apply_transpose(const std::vector<Element>& x) const
+    requires TransposableLinOp<B>
+  {
+    return d_.apply(*f_, h_.apply(*ring_, inner_->apply_transpose(x)));
+  }
+  /// Route selection follows the inner operator: the Hankel/diagonal layers
+  /// only add O(M(n)) per product.
+  BoxStructure structure() const { return box_structure(*inner_); }
+
+ private:
+  const F* f_;
+  const kp::poly::PolyRing<F>* ring_;
+  const B* inner_;
+  Hankel<F> h_;
+  Diagonal<F> d_;
+};
+
+/// Type-erased black box for runtime backend dispatch: a service endpoint
+/// (or AnyBox-keyed cache) can hold heterogeneous operators in one
+/// container and route them all through the same LinOp-templated solver.
+/// Cheap to copy (shared immutable payload).
+template <kp::field::Field F>
+class AnyBox {
+ public:
+  using Element = typename F::Element;
+
+  template <class B>
+    requires LinOp<std::decay_t<B>> &&
+             std::same_as<typename std::decay_t<B>::Element, Element> &&
+             (!std::same_as<std::decay_t<B>, AnyBox>)
+  AnyBox(B&& box)  // NOLINT(google-explicit-constructor): adapter by design
+      : impl_(std::make_shared<Model<std::decay_t<B>>>(std::forward<B>(box))) {}
+
+  std::size_t dim() const { return impl_->dim(); }
+  std::vector<Element> apply(const std::vector<Element>& x) const {
+    return impl_->apply(x);
+  }
+  /// Valid only when transposable() -- asserted, mirroring the library's
+  /// "precondition violations are programming errors" convention.
+  std::vector<Element> apply_transpose(const std::vector<Element>& x) const {
+    return impl_->apply_transpose(x);
+  }
+  bool transposable() const { return impl_->transposable(); }
+  BoxStructure structure() const { return impl_->structure(); }
+
+ private:
+  struct Concept {
+    virtual ~Concept() = default;
+    virtual std::size_t dim() const = 0;
+    virtual std::vector<Element> apply(const std::vector<Element>& x) const = 0;
+    virtual std::vector<Element> apply_transpose(
+        const std::vector<Element>& x) const = 0;
+    virtual bool transposable() const = 0;
+    virtual BoxStructure structure() const = 0;
+  };
+
+  template <LinOp B>
+  struct Model final : Concept {
+    explicit Model(B box) : box_(std::move(box)) {}
+    std::size_t dim() const override { return box_.dim(); }
+    std::vector<Element> apply(const std::vector<Element>& x) const override {
+      return box_.apply(x);
+    }
+    std::vector<Element> apply_transpose(
+        const std::vector<Element>& x) const override {
+      if constexpr (TransposableLinOp<B>) {
+        return box_.apply_transpose(x);
+      } else {
+        assert(false && "underlying box has no apply_transpose");
+        return {};
+      }
+    }
+    bool transposable() const override { return TransposableLinOp<B>; }
+    BoxStructure structure() const override { return box_structure(box_); }
+    B box_;
+  };
+
+  std::shared_ptr<const Concept> impl_;
+};
+
+/// Materializes a box as a dense matrix: column j = B e_j, n black-box
+/// products.  Only the explicit-doubling route on a non-dense box pays this;
+/// the values are exactly the operator's entries, so downstream arithmetic
+/// is identical to the dense path.
+template <kp::field::CommutativeRing R, LinOp B>
+Matrix<R> materialize_dense(const R& r, const B& box) {
+  const std::size_t n = box.dim();
+  Matrix<R> out(n, n, r.zero());
+  std::vector<typename R::Element> e(n, r.zero());
+  for (std::size_t j = 0; j < n; ++j) {
+    e[j] = r.one();
+    const auto col = box.apply(e);
+    for (std::size_t i = 0; i < n; ++i) out.at(i, j) = col[i];
+    e[j] = r.zero();
+  }
+  return out;
+}
 
 /// Computes the projected Krylov sequence {u A^i v : 0 <= i < count}
 /// iteratively: count-1 black-box products and count dot products.  This is

@@ -11,9 +11,14 @@
 #include <vector>
 
 #include "field/concepts.h"
+#include "pram/parallel_for.h"
 #include "util/prng.h"
 
 namespace kp::matrix {
+
+/// Minimum number of ring operations before a kernel fans out onto the
+/// pooled ExecutionContext; below it the region overhead dominates.
+inline constexpr std::size_t kParallelGrain = 1 << 15;
 
 /// Sums a term buffer as a balanced binary tree (depth ceil(log2 n) instead
 /// of n-1).  Same operation count as a linear scan, but every inner-product
@@ -158,20 +163,32 @@ Matrix<R> mat_transpose(const R& r, const Matrix<R>& a) {
   return out;
 }
 
-/// Dense matrix * vector.
+/// Dense matrix * vector.  Rows are independent, so large products run on
+/// the pooled ExecutionContext; the per-row arithmetic is identical either
+/// way, keeping results bit-identical for every worker count.
 template <kp::field::CommutativeRing R>
 std::vector<typename R::Element> mat_vec(const R& r, const Matrix<R>& a,
                                          const std::vector<typename R::Element>& x) {
   assert(a.cols() == x.size());
   std::vector<typename R::Element> out(a.rows(), r.zero());
-  std::vector<typename R::Element> terms;
-  for (std::size_t i = 0; i < a.rows(); ++i) {
+  auto row_product = [&](std::size_t i, std::vector<typename R::Element>& terms) {
     const auto* row = a.row(i);
     terms.clear();
     for (std::size_t j = 0; j < a.cols(); ++j) {
       terms.push_back(r.mul(row[j], x[j]));
     }
     out[i] = balanced_sum(r, terms);
+  };
+  if (kp::field::concurrent_ops_v<R> && a.rows() * a.cols() >= kParallelGrain) {
+    kp::pram::parallel_for(0, a.rows(), [&](std::size_t i) {
+      std::vector<typename R::Element> terms;
+      terms.reserve(a.cols());
+      row_product(i, terms);
+    });
+  } else {
+    std::vector<typename R::Element> terms;
+    terms.reserve(a.cols());
+    for (std::size_t i = 0; i < a.rows(); ++i) row_product(i, terms);
   }
   return out;
 }

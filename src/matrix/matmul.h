@@ -24,12 +24,13 @@ namespace detail {
 
 /// Classical kernel; each output entry is a balanced-tree inner product so
 /// the corresponding circuit has depth O(log n), as the paper's model needs.
+/// Output rows are independent, so large products fan out row-by-row onto
+/// the pooled ExecutionContext with identical per-row arithmetic (results
+/// are bit-identical for every worker count).
 template <kp::field::CommutativeRing R>
 Matrix<R> mul_classical(const R& r, const Matrix<R>& a, const Matrix<R>& b) {
   Matrix<R> out(a.rows(), b.cols(), r.zero());
-  std::vector<typename R::Element> terms;
-  terms.reserve(a.cols());
-  for (std::size_t i = 0; i < a.rows(); ++i) {
+  auto out_row = [&](std::size_t i, std::vector<typename R::Element>& terms) {
     const auto* arow = a.row(i);
     auto* orow = out.row(i);
     for (std::size_t j = 0; j < b.cols(); ++j) {
@@ -40,6 +41,18 @@ Matrix<R> mul_classical(const R& r, const Matrix<R>& a, const Matrix<R>& b) {
       }
       orow[j] = balanced_sum(r, terms);
     }
+  };
+  if (kp::field::concurrent_ops_v<R> &&
+      a.rows() * a.cols() * b.cols() >= kParallelGrain) {
+    kp::pram::parallel_for(0, a.rows(), [&](std::size_t i) {
+      std::vector<typename R::Element> terms;
+      terms.reserve(a.cols());
+      out_row(i, terms);
+    });
+  } else {
+    std::vector<typename R::Element> terms;
+    terms.reserve(a.cols());
+    for (std::size_t i = 0; i < a.rows(); ++i) out_row(i, terms);
   }
   return out;
 }

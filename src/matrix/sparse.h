@@ -52,16 +52,23 @@ class Sparse {
   std::size_t cols() const { return cols_; }
   std::size_t nnz() const { return col_.size(); }
 
-  /// y = A x in O(nnz) ring operations.
+  /// y = A x in O(nnz) ring operations.  Rows are independent, so large
+  /// products run on the pooled ExecutionContext (bit-identical results for
+  /// every worker count).
   std::vector<Element> apply(const R& r, const std::vector<Element>& x) const {
     assert(x.size() == cols_);
     std::vector<Element> y(rows_, r.zero());
-    for (std::size_t i = 0; i < rows_; ++i) {
+    auto row_product = [&](std::size_t i) {
       auto acc = r.zero();
       for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
         acc = r.add(acc, r.mul(val_[k], x[col_[k]]));
       }
       y[i] = std::move(acc);
+    };
+    if (kp::field::concurrent_ops_v<R> && nnz() >= kParallelGrain) {
+      kp::pram::parallel_for(0, rows_, row_product);
+    } else {
+      for (std::size_t i = 0; i < rows_; ++i) row_product(i);
     }
     return y;
   }

@@ -2,56 +2,210 @@
 //
 // The paper's model is an algebraic PRAM; this library reproduces its
 // *depth* claims exactly through the circuit framework (circuit/), and uses
-// this thread pool to actually exploit whatever hardware parallelism exists
-// for embarrassingly parallel work: Monte Carlo probability sweeps,
-// independent matrix rows, multiple bench configurations.  On a single-core
-// host it degrades to the serial loop.
+// the pooled ExecutionContext below to actually exploit whatever hardware
+// parallelism exists: matrix kernels (mat_mul, mat_vec, sparse apply, the
+// Krylov block merge), Monte Carlo probability sweeps, multiple bench
+// configurations.  On a single-core host it degrades to the serial loop.
 //
-// Determinism contract: iterations must be independent and derive any
-// randomness from their own index (seed-per-index), so results are
-// identical for every thread count.
+// Determinism contract: iterations must be independent, write disjoint
+// outputs, and derive any randomness from their own index (seed-per-index),
+// so results are identical for every worker count.
+//
+// Pool lifecycle: worker threads are started lazily on the first parallel
+// region, reused by every subsequent region (no thread spawn per call), and
+// joined when the process exits.  Field-operation counts performed by the
+// workers are folded back into the submitting thread's thread-local
+// counters, so an OpScope around a parallel kernel still measures the exact
+// total work in the paper's own units.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstddef>
 #include <functional>
+#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "util/op_count.h"
+
 namespace kp::pram {
 
-/// Number of workers parallel_for will use (hardware concurrency, >= 1).
+/// Number of workers a parallel region will use by default (hardware
+/// concurrency, >= 1).
 inline unsigned worker_count() {
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : hw;
 }
 
-/// Runs fn(i) for i in [begin, end) across the available hardware threads.
-/// Blocks until every iteration finished.  fn must not throw.
+/// A persistent pool of worker threads executing parallel-for batches.
+///
+/// One batch is in flight at a time (regions are short; serializing them
+/// keeps the queue trivial and starvation-free).  The submitting thread
+/// participates in its own batch, and a nested parallel_for issued from
+/// inside a region runs serially on the issuing thread -- which both
+/// preserves the determinism contract and makes the pool deadlock-free by
+/// construction (no pool thread ever blocks on another batch).
+class ExecutionContext {
+ public:
+  static ExecutionContext& global() {
+    static ExecutionContext ctx;
+    return ctx;
+  }
+
+  ~ExecutionContext() { shutdown(); }
+
+  /// Total threads ever spawned by this context; stays at most
+  /// worker_count() - 1 forever, which is how the tests pin down "pooled,
+  /// not per-call" behavior.
+  std::uint64_t threads_started() const {
+    return threads_started_.load(std::memory_order_relaxed);
+  }
+
+  /// Caps the parallelism degree of subsequent regions (0 = hardware).
+  /// Used by tests to compare 1-worker and N-worker runs bit-for-bit.
+  void set_worker_limit(unsigned limit) { worker_limit_.store(limit); }
+  unsigned worker_limit() const { return worker_limit_.load(); }
+
+  /// Runs fn(i) for i in [begin, end), blocking until every iteration
+  /// finished.  fn must not throw.  max_workers limits this region's
+  /// parallelism (0 = default).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn,
+                    unsigned max_workers = 0) {
+    const std::size_t count = end > begin ? end - begin : 0;
+    if (count == 0) return;
+    unsigned workers = max_workers == 0 ? worker_count() : max_workers;
+    if (const unsigned limit = worker_limit(); limit != 0 && workers > limit) {
+      workers = limit;
+    }
+    if (workers > count) workers = static_cast<unsigned>(count);
+    // Serial fast path: one worker, or a nested region (a pool thread or a
+    // region-running submitter must never wait on the pool again).
+    if (workers <= 1 || in_region()) {
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+      return;
+    }
+
+    // Static block partition: iterations are assumed comparable in cost
+    // (rows, Monte Carlo trials); blocks avoid false sharing of counters.
+    Batch batch;
+    batch.fn = &fn;
+    batch.begin = begin;
+    batch.end = end;
+    batch.chunk = (count + workers - 1) / workers;
+    batch.blocks = (count + batch.chunk - 1) / batch.chunk;
+
+    std::unique_lock<std::mutex> lk(m_);
+    ensure_started(lk);
+    // Serialize batches from concurrent submitters.
+    submit_cv_.wait(lk, [&] { return batch_ == nullptr; });
+    batch_ = &batch;
+    ++epoch_;
+    cv_.notify_all();
+    in_region() = true;     // nested regions from fn must not resubmit
+    run_blocks(batch, lk);  // the submitter works on its own batch too
+    in_region() = false;
+    done_cv_.wait(lk, [&] {
+      return batch.done == batch.blocks && batch.inside == 0;
+    });
+    batch_ = nullptr;
+    submit_cv_.notify_one();
+    lk.unlock();
+    // Fold the workers' field-op counts into this thread's counters so the
+    // measured work is independent of the degree of parallelism.
+    kp::util::tl_op_counts += batch.worker_ops;
+  }
+
+ private:
+  struct Batch {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t begin = 0, end = 0, chunk = 1;
+    std::size_t blocks = 0;
+    std::size_t next = 0;    ///< next unclaimed block (guarded by m_)
+    std::size_t done = 0;    ///< completed blocks (guarded by m_)
+    int inside = 0;          ///< threads currently touching the batch
+    kp::util::OpCounts worker_ops;  ///< ops performed by pool threads
+  };
+
+  static bool& in_region() {
+    thread_local bool flag = false;
+    return flag;
+  }
+
+  void ensure_started(std::unique_lock<std::mutex>&) {
+    if (started_) return;
+    started_ = true;
+    const unsigned n = worker_count();
+    threads_.reserve(n > 1 ? n - 1 : 0);
+    for (unsigned i = 1; i < n; ++i) {
+      threads_.emplace_back([this] { worker_loop(); });
+      threads_started_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  /// Claims and runs blocks of the batch until none remain.  Called with
+  /// the lock held; runs iterations unlocked.
+  void run_blocks(Batch& b, std::unique_lock<std::mutex>& lk) {
+    ++b.inside;
+    while (b.next < b.blocks) {
+      const std::size_t k = b.next++;
+      const std::size_t lo = b.begin + k * b.chunk;
+      const std::size_t hi = std::min(b.end, lo + b.chunk);
+      lk.unlock();
+      for (std::size_t i = lo; i < hi; ++i) (*b.fn)(i);
+      lk.lock();
+      ++b.done;
+    }
+    --b.inside;
+    if (b.done == b.blocks && b.inside == 0) done_cv_.notify_all();
+  }
+
+  void worker_loop() {
+    in_region() = true;  // nested regions from this thread run serially
+    std::uint64_t seen = 0;
+    std::unique_lock<std::mutex> lk(m_);
+    for (;;) {
+      cv_.wait(lk, [&] { return stop_ || epoch_ != seen; });
+      if (stop_) return;
+      seen = epoch_;
+      if (Batch* b = batch_) {
+        const kp::util::OpCounts before = kp::util::tl_op_counts;
+        run_blocks(*b, lk);
+        b->worker_ops += kp::util::tl_op_counts - before;
+        kp::util::tl_op_counts = before;  // submitter re-credits the total
+      }
+    }
+  }
+
+  void shutdown() {
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto& th : threads_) th.join();
+    threads_.clear();
+  }
+
+  std::mutex m_;
+  std::condition_variable cv_;         ///< workers: new batch / stop
+  std::condition_variable done_cv_;    ///< submitter: batch finished
+  std::condition_variable submit_cv_;  ///< submitters: batch slot free
+  std::vector<std::thread> threads_;
+  Batch* batch_ = nullptr;
+  std::uint64_t epoch_ = 0;
+  bool started_ = false;
+  bool stop_ = false;
+  std::atomic<unsigned> worker_limit_{0};
+  std::atomic<std::uint64_t> threads_started_{0};
+};
+
+/// Runs fn(i) for i in [begin, end) on the global pooled context.
 inline void parallel_for(std::size_t begin, std::size_t end,
                          const std::function<void(std::size_t)>& fn,
                          unsigned max_workers = 0) {
-  const std::size_t count = end > begin ? end - begin : 0;
-  if (count == 0) return;
-  unsigned workers = max_workers == 0 ? worker_count() : max_workers;
-  if (workers > count) workers = static_cast<unsigned>(count);
-  if (workers <= 1) {
-    for (std::size_t i = begin; i < end; ++i) fn(i);
-    return;
-  }
-  // Static block partition: iterations are assumed comparable in cost
-  // (Monte Carlo trials, rows); blocks avoid false sharing of counters.
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  const std::size_t chunk = (count + workers - 1) / workers;
-  for (unsigned w = 0; w < workers; ++w) {
-    const std::size_t lo = begin + static_cast<std::size_t>(w) * chunk;
-    const std::size_t hi = std::min(end, lo + chunk);
-    if (lo >= hi) break;
-    pool.emplace_back([lo, hi, &fn] {
-      for (std::size_t i = lo; i < hi; ++i) fn(i);
-    });
-  }
-  for (auto& th : pool) th.join();
+  ExecutionContext::global().parallel_for(begin, end, fn, max_workers);
 }
 
 /// Map over [0, n) into a result vector (each slot written by exactly one

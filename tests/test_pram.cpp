@@ -9,8 +9,11 @@
 #include "field/zp.h"
 #include "matrix/dense.h"
 #include "matrix/gauss.h"
+#include "matrix/matmul.h"
+#include "matrix/sparse.h"
 #include "pram/parallel_for.h"
 #include "pram/work_depth.h"
+#include "util/op_count.h"
 #include "util/prng.h"
 
 namespace kp {
@@ -50,6 +53,86 @@ TEST(ParallelForTest, DeterministicWithSeedPerIndex) {
         workers);
   };
   EXPECT_EQ(run(1), run(4));
+}
+
+TEST(ExecutionContextTest, ReusesPooledThreadsAcrossCalls) {
+  auto& ctx = pram::ExecutionContext::global();
+  std::atomic<int> sink{0};
+  // Warm the pool, then hammer it: the spawn counter must not move -- the
+  // whole point of the persistent context is no thread spawn per call.
+  pram::parallel_for(0, 64, [&](std::size_t) { sink.fetch_add(1); });
+  const auto started = ctx.threads_started();
+  EXPECT_LE(started, pram::worker_count());
+  for (int round = 0; round < 50; ++round) {
+    pram::parallel_for(0, 256, [&](std::size_t) { sink.fetch_add(1); });
+  }
+  EXPECT_EQ(ctx.threads_started(), started);
+  EXPECT_EQ(sink.load(), 64 + 50 * 256);
+}
+
+TEST(ExecutionContextTest, KernelsBitIdenticalForOneAndManyWorkers) {
+  // The acceptance contract of the pooled kernels: results do not depend on
+  // the degree of parallelism.  Run the parallel-kernel paths (mat_mul,
+  // mat_vec, sparse apply are all above the grain at n = 96) with the
+  // worker limit pinned to 1 and unlimited, and compare bit-for-bit.
+  using F = field::Zp<1000003>;
+  F f;
+  auto& ctx = pram::ExecutionContext::global();
+  auto run = [&] {
+    util::Prng prng(4242);
+    auto a = matrix::random_matrix(f, 96, 96, prng);
+    auto b = matrix::random_matrix(f, 96, 96, prng);
+    auto prod = matrix::mat_mul(f, a, b);
+    std::vector<F::Element> x(96);
+    for (auto& e : x) e = f.random(prng);
+    auto y = matrix::mat_vec(f, prod, x);
+    auto sp = matrix::Sparse<F>::random(f, 512, 64, prng);
+    std::vector<F::Element> xs(512);
+    for (auto& e : xs) e = f.random(prng);
+    auto z = sp.apply(f, xs);
+    y.insert(y.end(), z.begin(), z.end());
+    return y;
+  };
+  ctx.set_worker_limit(1);
+  const auto serial = run();
+  ctx.set_worker_limit(0);
+  const auto parallel = run();
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(ExecutionContextTest, OpCountsFoldBackIntoSubmitter) {
+  // An OpScope around a parallel kernel must measure the same work as the
+  // serial run: workers report their thread-local counts back to the
+  // submitting thread.
+  using F = field::Zp<1000003>;
+  F f;
+  util::Prng prng(7);
+  auto a = matrix::random_matrix(f, 128, 128, prng);
+  std::vector<F::Element> x(128);
+  for (auto& e : x) e = f.random(prng);
+
+  auto& ctx = pram::ExecutionContext::global();
+  ctx.set_worker_limit(1);
+  util::OpScope serial_scope;
+  auto y1 = matrix::mat_vec(f, a, x);
+  const auto serial_ops = serial_scope.counts().total();
+  ctx.set_worker_limit(0);
+  util::OpScope parallel_scope;
+  auto y2 = matrix::mat_vec(f, a, x);
+  const auto parallel_ops = parallel_scope.counts().total();
+  EXPECT_EQ(y1, y2);
+  EXPECT_EQ(serial_ops, parallel_ops);
+  EXPECT_GT(serial_ops, 0u);
+}
+
+TEST(ExecutionContextTest, NestedRegionsRunSeriallyWithoutDeadlock) {
+  std::atomic<int> sink{0};
+  pram::parallel_for(0, 8, [&](std::size_t) {
+    // A nested region from inside a running region must complete serially
+    // on the issuing thread rather than waiting on the (busy) pool.
+    pram::parallel_for(0, 100, [&](std::size_t) { sink.fetch_add(1); });
+  });
+  EXPECT_EQ(sink.load(), 800);
 }
 
 TEST(WorkDepthTest, SpanAndWorkAlgebra) {
