@@ -14,6 +14,7 @@
 #include "matrix/matmul.h"
 #include "poly/poly.h"
 #include "seq/newton_identities.h"
+#include "util/bench_json.h"
 #include "util/op_count.h"
 #include "util/prng.h"
 #include "util/tables.h"
@@ -23,10 +24,12 @@ using FN = kp::field::GFp;  // runtime modulus: NTT-friendly prime
 int main() {
   FN f(kp::field::kNttPrime);
   kp::util::Prng prng(123);
+  kp::util::BenchReport report("ablation");
 
   std::printf("A1: polynomial multiplication kernels (field ops, equal inputs)\n\n");
   kp::util::Table t1({"deg", "schoolbook", "karatsuba", "ntt"});
   for (std::size_t deg : {32u, 128u, 512u, 2048u}) {
+    kp::util::WallTimer wt;
     kp::poly::PolyRing<FN> school(f, kp::poly::MulStrategy::kSchoolbook);
     kp::poly::PolyRing<FN> karat(f, kp::poly::MulStrategy::kKaratsuba);
     kp::poly::PolyRing<FN> ntt(f, kp::poly::MulStrategy::kNtt);
@@ -47,12 +50,19 @@ int main() {
     }
     t1.add_row({std::to_string(deg), kp::util::Table::num(o1),
                 kp::util::Table::num(o2), kp::util::Table::num(o3)});
+    report.begin_row("A1_polymul");
+    report.put("deg", deg);
+    report.put("ops_schoolbook", o1);
+    report.put("ops_karatsuba", o2);
+    report.put("ops_ntt", o3);
+    report.put("wall_ms", wt.elapsed_ms());
   }
   t1.print();
 
   std::printf("\nA2: matrix multiplication black box (field ops)\n\n");
   kp::util::Table t2({"n", "classical", "strassen(thresh 16)", "ratio"});
   for (std::size_t n : {32u, 64u, 128u}) {
+    kp::util::WallTimer wt;
     auto a = kp::matrix::random_matrix(f, n, n, prng);
     auto b = kp::matrix::random_matrix(f, n, n, prng);
     kp::util::OpScope s1;
@@ -67,12 +77,18 @@ int main() {
     }
     t2.add_row({std::to_string(n), kp::util::Table::num(o1), kp::util::Table::num(o2),
                 kp::util::Table::num(static_cast<double>(o2) / static_cast<double>(o1), 3)});
+    report.begin_row("A2_matmul");
+    report.put("n", n);
+    report.put("ops_classical", o1);
+    report.put("ops_strassen", o2);
+    report.put("wall_ms", wt.elapsed_ms());
   }
   t2.print();
 
   std::printf("\nA3: Newton identities (power sums -> charpoly), field ops\n\n");
   kp::util::Table t3({"n", "triangular O(n^2)", "series exp"});
   for (std::size_t n : {32u, 128u, 512u, 1024u}) {
+    kp::util::WallTimer wt;
     std::vector<FN::Element> s(n);
     // Power sums of a random monic polynomial (valid inputs).
     std::vector<FN::Element> p(n + 1);
@@ -92,12 +108,18 @@ int main() {
       return 1;
     }
     t3.add_row({std::to_string(n), kp::util::Table::num(o1), kp::util::Table::num(o2)});
+    report.begin_row("A3_newton");
+    report.put("n", n);
+    report.put("ops_triangular", o1);
+    report.put("ops_series_exp", o2);
+    report.put("wall_ms", wt.elapsed_ms());
   }
   t3.print();
 
   std::printf("\nA4: Krylov sequence u A^i v, i < 2n (field ops)\n\n");
   kp::util::Table t4({"n", "doubling (9)", "iterative 2n matvecs", "ratio"});
   for (std::size_t n : {16u, 32u, 64u, 128u}) {
+    kp::util::WallTimer wt;
     auto a = kp::matrix::random_matrix(f, n, n, prng);
     std::vector<FN::Element> u(n), v(n);
     for (auto& e : u) e = f.random(prng);
@@ -115,6 +137,11 @@ int main() {
     }
     t4.add_row({std::to_string(n), kp::util::Table::num(o1), kp::util::Table::num(o2),
                 kp::util::Table::num(static_cast<double>(o1) / static_cast<double>(o2), 3)});
+    report.begin_row("A4_krylov");
+    report.put("n", n);
+    report.put("ops_doubling", o1);
+    report.put("ops_iterative", o2);
+    report.put("wall_ms", wt.elapsed_ms());
   }
   t4.print();
   std::printf("\nDoubling pays ~log n extra work to win O(log^2 n) depth --\n"
@@ -123,6 +150,7 @@ int main() {
   std::printf("\nA5: full solve, sequential finishes vs depth-optimal finishes\n\n");
   kp::util::Table t5({"n", "work-optimal ops", "depth-optimal ops", "ratio"});
   for (std::size_t n : {16u, 32u, 64u}) {
+    kp::util::WallTimer wt;
     auto a = kp::matrix::random_matrix(f, n, n, prng);
     std::vector<FN::Element> b(n);
     for (auto& e : b) e = f.random(prng);
@@ -142,6 +170,11 @@ int main() {
     }
     t5.add_row({std::to_string(n), kp::util::Table::num(o1), kp::util::Table::num(o2),
                 kp::util::Table::num(static_cast<double>(o2) / static_cast<double>(o1), 3)});
+    report.begin_row("A5_solve");
+    report.put("n", n);
+    report.put("ops_work_optimal", o1);
+    report.put("ops_depth_optimal", o2);
+    report.put("wall_ms", wt.elapsed_ms());
   }
   t5.print();
   return 0;

@@ -18,6 +18,7 @@
 #include "field/zp.h"
 #include "matrix/blackbox.h"
 #include "matrix/sparse.h"
+#include "util/bench_json.h"
 #include "util/op_count.h"
 #include "util/prng.h"
 #include "util/tables.h"
@@ -38,6 +39,7 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
 
 int main() {
   F f(kp::field::kNttPrime);
+  kp::util::BenchReport report("blackbox_solver");
   std::printf("Black-box solver crossover: dense doubling vs sparse iterative\n");
   std::printf("(sparse n x n, ~4n nonzeros; identical results required)\n\n");
 
@@ -80,6 +82,13 @@ int main() {
       return 1;
     }
     if (n == 256 && sparse_s < dense_s) sparse_wins_at_256 = true;
+    report.begin_row("crossover");
+    report.put("n", n);
+    report.put("nnz", sp.nnz());
+    report.put("dense_wall_ms", dense_s * 1e3);
+    report.put("sparse_wall_ms", sparse_s * 1e3);
+    report.put("dense_ops", dense_ops);
+    report.put("sparse_ops", sparse_ops);
 
     t.add_row({std::to_string(n), std::to_string(sp.nnz()),
                kp::util::Table::num(dense_s, 3), kp::util::Table::num(sparse_s, 3),

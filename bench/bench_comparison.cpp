@@ -24,6 +24,7 @@
 #include "core/wiedemann.h"
 #include "field/zp.h"
 #include "matrix/gauss.h"
+#include "util/bench_json.h"
 #include "util/op_count.h"
 #include "util/prng.h"
 #include "util/tables.h"
@@ -33,12 +34,14 @@ using F = kp::field::Zp<1000003>;
 int main() {
   F f;
   kp::util::Prng prng(2024);
+  kp::util::BenchReport report("comparison");
 
   std::printf("E11: determinant work comparison (field operations)\n\n");
   kp::util::Table t({"n", "gauss", "wiedemann", "kp (Thm 4)", "csanky",
                      "faddeev", "berkowitz", "chistov"});
   std::vector<double> ns, kp_ops, cs_ops;
   for (std::size_t n : {8u, 16u, 32u, 48u, 64u}) {
+    kp::util::WallTimer wt;
     auto a = kp::matrix::random_matrix(f, n, n, prng);
     const auto det_ref = kp::matrix::det_gauss(f, a);
     if (f.is_zero(det_ref)) continue;
@@ -88,6 +91,16 @@ int main() {
                kp::util::Table::num(ops_wied), kp::util::Table::num(ops_kp),
                cell(ops_csanky), cell(ops_faddeev), cell(ops_berk),
                cell(ops_chistov)});
+    report.begin_row("E11_work");
+    report.put("n", n);
+    report.put("ops_gauss", ops_gauss);
+    report.put("ops_wiedemann", ops_wied);
+    report.put("ops_kp", ops_kp);
+    report.put("ops_csanky", ops_csanky);
+    report.put("ops_faddeev", ops_faddeev);
+    report.put("ops_berkowitz", ops_berk);
+    report.put("ops_chistov", ops_chistov);
+    report.put("wall_ms", wt.elapsed_ms());
   }
   t.print();
 
@@ -140,6 +153,12 @@ int main() {
     dns.push_back(static_cast<double>(n));
     if (kp_depth) d_kp.push_back(kp_depth);
     d_cs.push_back(static_cast<double>(cs));
+    report.begin_row("E11_depth");
+    report.put("n", n);
+    report.put("depth_kp", static_cast<std::uint64_t>(kp_depth));
+    report.put("depth_csanky", static_cast<std::uint64_t>(cs));
+    report.put("depth_berkowitz", static_cast<std::uint64_t>(bk));
+    report.put("depth_chistov", static_cast<std::uint64_t>(ch));
     td.add_row({std::to_string(n),
                 kp_depth ? std::to_string(kp_depth) : std::string("(see E6)"),
                 kp_depth ? kp::util::Table::num(kp_depth / (lg * lg), 3)

@@ -15,6 +15,7 @@
 #include "circuit/field.h"
 #include "core/baselines.h"
 #include "field/zp.h"
+#include "util/bench_json.h"
 #include "util/tables.h"
 
 using kp::circuit::Accumulation;
@@ -89,11 +90,20 @@ int main() {
   corpus.push_back({"det pipeline n=4", kp::circuit::build_det_circuit(4)});
   corpus.push_back({"det pipeline n=6", kp::circuit::build_det_circuit(6)});
 
+  kp::util::BenchReport report("derivative");
   kp::util::Table t({"circuit", "len P", "depth P", "len Q", "len Q/len P",
                      "depth Q(bal)", "depth Q(lin)", "depth ratio(bal)"});
   for (auto& cs : corpus) {
+    kp::util::WallTimer wt;
     const auto qb = kp::circuit::gradient(cs.c, Accumulation::kBalanced);
     const auto ql = kp::circuit::gradient(cs.c, Accumulation::kLinear);
+    report.begin_row(cs.name);
+    report.put("len_p", std::uint64_t{cs.c.size()});
+    report.put("depth_p", static_cast<std::uint64_t>(cs.c.depth()));
+    report.put("len_q", std::uint64_t{qb.size()});
+    report.put("depth_q_balanced", static_cast<std::uint64_t>(qb.depth()));
+    report.put("depth_q_linear", static_cast<std::uint64_t>(ql.depth()));
+    report.put("wall_ms", wt.elapsed_ms());
     t.add_row({cs.name, kp::util::Table::num(std::uint64_t{cs.c.size()}),
                std::to_string(cs.c.depth()),
                kp::util::Table::num(std::uint64_t{qb.size()}),

@@ -8,6 +8,7 @@
 #include "field/zp.h"
 #include "matrix/gauss.h"
 #include "seq/gohberg_semencul.h"
+#include "util/bench_json.h"
 #include "util/op_count.h"
 #include "util/prng.h"
 #include "util/tables.h"
@@ -18,12 +19,14 @@ int main() {
   F f;
   kp::util::Prng prng(11);
   kp::poly::PolyRing<F> ring(f);
+  kp::util::BenchReport report("gohberg_semencul");
 
   std::printf("E12 (Figure 1): Gohberg-Semencul apply cost vs dense inverse\n\n");
   kp::util::Table t({"n", "gs apply ops", "dense matvec ops", "apply ratio",
                      "storage gs", "storage dense"});
   std::vector<double> ns, gs_ops;
   for (std::size_t n : {16u, 32u, 64u, 128u, 256u}) {
+    kp::util::WallTimer wt;
     std::vector<F::Element> diag(2 * n - 1);
     for (auto& v : diag) v = f.random(prng);
     kp::matrix::Toeplitz<F> tp(n, diag);
@@ -48,6 +51,11 @@ int main() {
     }
     ns.push_back(static_cast<double>(n));
     gs_ops.push_back(static_cast<double>(ops_gs));
+    report.begin_row("gs_apply");
+    report.put("n", n);
+    report.put("ops_gs", ops_gs);
+    report.put("ops_dense", ops_dense);
+    report.put("wall_ms", wt.elapsed_ms());
     t.add_row({std::to_string(n), kp::util::Table::num(ops_gs),
                kp::util::Table::num(ops_dense),
                kp::util::Table::num(static_cast<double>(ops_gs) /

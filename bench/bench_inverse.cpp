@@ -8,6 +8,7 @@
 #include "circuit/builders.h"
 #include "field/zp.h"
 #include "matrix/gauss.h"
+#include "util/bench_json.h"
 #include "util/prng.h"
 #include "util/tables.h"
 
@@ -26,12 +27,14 @@ using F = kp::field::GFp;
 int main() {
   F f(kp::field::kNttPrime);
   kp::util::Prng prng(99);
+  kp::util::BenchReport report("inverse");
 
   std::printf("E8 (Theorem 6): inverse circuit = d(det)/dA / det\n\n");
   kp::util::Table t({"n", "det size", "det depth", "inv size", "inv depth",
                      "size ratio", "depth ratio", "eval check"});
   std::vector<double> ns, sizes, depths;
   for (std::size_t n : {2u, 3u, 4u, 6u, 8u, 12u}) {
+    kp::util::WallTimer wt;
     auto det = kp::circuit::build_det_circuit(n, kp::field::kNttPrime);
     auto inv = kp::circuit::build_inverse_circuit(n, kp::field::kNttPrime);
 
@@ -60,6 +63,14 @@ int main() {
     ns.push_back(static_cast<double>(n));
     sizes.push_back(static_cast<double>(inv.size()));
     depths.push_back(static_cast<double>(inv.depth()));
+    report.begin_row("inverse_circuit");
+    report.put("n", n);
+    report.put("det_size", std::uint64_t{det.size()});
+    report.put("det_depth", static_cast<std::uint64_t>(det.depth()));
+    report.put("inv_size", std::uint64_t{inv.size()});
+    report.put("inv_depth", static_cast<std::uint64_t>(inv.depth()));
+    report.put("eval_check", check);
+    report.put("wall_ms", wt.elapsed_ms());
     t.add_row({std::to_string(n), kp::util::Table::num(std::uint64_t{det.size()}),
                std::to_string(det.depth()),
                kp::util::Table::num(std::uint64_t{inv.size()}),

@@ -12,6 +12,8 @@
 #include "matrix/gauss.h"
 #include "seq/berlekamp_massey.h"
 #include "seq/linear_gen.h"
+#include "util/bench_json.h"
+#include "util/op_count.h"
 #include "util/prng.h"
 #include "util/tables.h"
 
@@ -20,6 +22,7 @@ using F = kp::field::Zp<1000003>;
 int main() {
   F f;
   kp::util::Prng prng(20260704);
+  kp::util::BenchReport report("lemma1");
   const int kTrials = 50;
 
   std::printf("E1 (Lemma 1): det(T_mu) != 0 iff mu == m, for mu <= m\n");
@@ -29,6 +32,8 @@ int main() {
                          "mu=m+3", "pattern holds"});
 
   for (std::size_t m : {2u, 3u, 4u, 6u, 8u, 12u, 16u, 24u}) {
+    kp::util::WallTimer wt;
+    kp::util::OpScope ops;
     // Count how often det(T_mu) is nonzero at each offset.
     std::vector<int> nonzero(6, 0);
     int trials_done = 0;
@@ -66,6 +71,12 @@ int main() {
     table.add_row({std::to_string(m), cell(-2), cell(-1), cell(0), cell(1),
                    cell(2), cell(3),
                    std::to_string(pattern_holds) + "/" + std::to_string(kTrials)});
+    report.begin_row("lemma1");
+    report.put("m", m);
+    report.put("pattern_holds", static_cast<std::uint64_t>(pattern_holds));
+    report.put("trials", static_cast<std::uint64_t>(kTrials));
+    report.put("ops", ops.counts().total());
+    report.put("wall_ms", wt.elapsed_ms());
   }
   table.print();
   std::printf(

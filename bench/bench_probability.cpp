@@ -17,6 +17,7 @@
 #include "matrix/blackbox.h"
 #include "matrix/gauss.h"
 #include "seq/berlekamp_massey.h"
+#include "util/bench_json.h"
 #include "util/prng.h"
 #include "util/tables.h"
 
@@ -25,6 +26,7 @@ using F = kp::field::Zp<1000003>;
 int main() {
   F f;
   kp::util::Prng prng(777);
+  kp::util::BenchReport report("probability");
   const int kTrials = 300;
 
   // --- E2: Lemma 2 ---------------------------------------------------------
@@ -33,6 +35,7 @@ int main() {
   kp::util::Table t2({"n", "|S|", "observed fail", "bound 2n/|S|", "within bound"});
   for (std::size_t n : {4u, 8u}) {
     for (std::uint64_t s : {2ull, 4ull, 16ull, 256ull}) {
+      kp::util::WallTimer wt;
       int fails = 0;
       for (int trial = 0; trial < kTrials; ++trial) {
         // Random dense A over the FULL field: w.h.p. deg(f^A) = n.
@@ -51,6 +54,13 @@ int main() {
                   kp::util::Table::num(observed, 3),
                   kp::util::Table::num(bound, 3),
                   observed <= bound ? "yes" : "NO"});
+      report.begin_row("E2_lemma2");
+      report.put("n", n);
+      report.put("sample_size", static_cast<std::uint64_t>(s));
+      report.put("observed_fail", observed);
+      report.put("bound", bound);
+      report.put("within_bound", observed <= bound);
+      report.put("wall_ms", wt.elapsed_ms());
     }
   }
   t2.print();
@@ -62,6 +72,7 @@ int main() {
   kp::poly::PolyRing<F> ring(f);
   for (std::size_t n : {4u, 8u}) {
     for (std::uint64_t s : {2ull, 4ull, 16ull, 256ull}) {
+      kp::util::WallTimer wt;
       int fails = 0;
       for (int trial = 0; trial < kTrials; ++trial) {
         // Non-singular A (adversarial: zero leading minors of A itself).
@@ -85,6 +96,13 @@ int main() {
                   kp::util::Table::num(observed, 3),
                   kp::util::Table::num(bound, 3),
                   observed <= bound ? "yes" : "NO"});
+      report.begin_row("E3_theorem2");
+      report.put("n", n);
+      report.put("sample_size", static_cast<std::uint64_t>(s));
+      report.put("observed_fail", observed);
+      report.put("bound", bound);
+      report.put("within_bound", observed <= bound);
+      report.put("wall_ms", wt.elapsed_ms());
     }
   }
   t3.print();
@@ -94,6 +112,7 @@ int main() {
   kp::util::Table t4({"n", "|S|", "observed fail", "bound 3n^2/|S|", "within bound"});
   for (std::size_t n : {4u, 6u}) {
     for (std::uint64_t s : {16ull, 64ull, 256ull, 4096ull}) {
+      kp::util::WallTimer wt;
       // Trials are independent; fan them out over the hardware threads
       // (deterministic: each trial derives its randomness from its index).
       auto outcomes = kp::pram::parallel_map<int>(kTrials, [&](std::size_t trial) {
@@ -118,6 +137,13 @@ int main() {
                   kp::util::Table::num(observed, 3),
                   kp::util::Table::num(bound >= 1 ? 1.0 : bound, 3),
                   observed <= bound ? "yes" : "NO"});
+      report.begin_row("E4_estimate2");
+      report.put("n", n);
+      report.put("sample_size", static_cast<std::uint64_t>(s));
+      report.put("observed_fail", observed);
+      report.put("bound", bound);
+      report.put("within_bound", observed <= bound);
+      report.put("wall_ms", wt.elapsed_ms());
     }
   }
   t4.print();

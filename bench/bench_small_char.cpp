@@ -12,12 +12,14 @@
 #include "field/zp.h"
 #include "matrix/gauss.h"
 #include "seq/newton_toeplitz.h"
+#include "util/bench_json.h"
 #include "util/op_count.h"
 #include "util/prng.h"
 #include "util/tables.h"
 
 int main() {
   kp::util::Prng prng(5);
+  kp::util::BenchReport report("small_char");
 
   std::printf("E10 (section 5 / (12)): Toeplitz charpoly over GF(2^8), n >> char\n\n");
   kp::field::GFpk gf(2, 8);
@@ -25,6 +27,7 @@ int main() {
                      "chistov/n^3"});
   std::vector<double> ns, ops_series;
   for (std::size_t n : {4u, 8u, 16u, 32u, 48u}) {
+    kp::util::WallTimer wt;
     std::vector<kp::field::GFpk::Element> diag;
     for (std::size_t i = 0; i < 2 * n - 1; ++i) diag.push_back(gf.random(prng));
     kp::matrix::Toeplitz<kp::field::GFpk> tp(n, diag);
@@ -47,6 +50,12 @@ int main() {
 
     ns.push_back(static_cast<double>(n));
     ops_series.push_back(static_cast<double>(ops1));
+    report.begin_row("chistov_gf2k");
+    report.put("n", n);
+    report.put("ops_chistov_toeplitz", ops1);
+    report.put("ops_berkowitz", ops2);
+    report.put("check", check);
+    report.put("wall_ms", wt.elapsed_ms());
     const double n3 = std::pow(static_cast<double>(n), 3);
     t.add_row({std::to_string(n), kp::util::Table::num(ops1),
                ops2 ? kp::util::Table::num(ops2) : "-", check,
@@ -74,6 +83,9 @@ int main() {
     kp::util::OpScope s;
     auto p = kp::seq::toeplitz_charpoly(f, tp);
     const auto ops0 = s.counts().total();
+    report.begin_row("char0_route");
+    report.put("n", n);
+    report.put("ops_leverrier_route", ops0);
     t0.add_row({std::to_string(n), kp::util::Table::num(ops0),
                 kp::util::Table::num(static_cast<std::uint64_t>(ops_series[i])),
                 kp::util::Table::num(ops_series[i] / static_cast<double>(ops0), 3)});

@@ -15,6 +15,7 @@
 #include "core/solver.h"
 #include "field/zp.h"
 #include "matrix/gauss.h"
+#include "util/bench_json.h"
 #include "util/op_count.h"
 #include "util/prng.h"
 #include "util/tables.h"
@@ -34,13 +35,21 @@ using F = kp::field::GFp;  // NTT-friendly prime: fast bivariate mult
 int main() {
   F f(kp::field::kNttPrime);
   kp::util::Prng prng(7);
+  kp::util::BenchReport report("solver");
 
   std::printf("E6 (Theorem 4): solver circuit measures\n\n");
   kp::util::Table tc({"n", "size", "depth", "randoms", "size/(n^3 log n)",
                       "depth/log2(n)^2"});
   std::vector<double> ns, sizes, depths;
   for (std::size_t n : {2u, 4u, 8u, 16u, 24u, 32u}) {
+    kp::util::WallTimer wt;
     auto c = kp::circuit::build_solver_circuit(n, kp::field::kNttPrime);
+    report.begin_row("E6_circuit");
+    report.put("n", n);
+    report.put("size", std::uint64_t{c.size()});
+    report.put("depth", static_cast<std::uint64_t>(c.depth()));
+    report.put("randoms", static_cast<std::uint64_t>(c.num_randoms()));
+    report.put("wall_ms", wt.elapsed_ms());
     ns.push_back(static_cast<double>(n));
     sizes.push_back(static_cast<double>(c.size()));
     depths.push_back(static_cast<double>(c.depth()));
@@ -62,6 +71,7 @@ int main() {
   std::printf("Direct implementation: work vs Gaussian elimination\n\n");
   kp::util::Table tw({"n", "kp_solve ops", "gauss ops", "ratio", "ratio/log2(n)^2"});
   for (std::size_t n : {8u, 16u, 32u, 64u, 96u}) {
+    kp::util::WallTimer wt;
     auto a = kp::matrix::random_matrix(f, n, n, prng);
     std::vector<F::Element> b(n);
     for (auto& e : b) e = f.random(prng);
@@ -78,6 +88,11 @@ int main() {
       std::printf("MISMATCH at n=%zu\n", n);
       return 1;
     }
+    report.begin_row("E6_work");
+    report.put("n", n);
+    report.put("ops_kp_solve", kp_ops);
+    report.put("ops_gauss", gauss_ops);
+    report.put("wall_ms", wt.elapsed_ms());
     const double ratio = static_cast<double>(kp_ops) / static_cast<double>(gauss_ops);
     const double lg = std::log2(static_cast<double>(n));
     tw.add_row({std::to_string(n), kp::util::Table::num(kp_ops),

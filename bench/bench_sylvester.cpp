@@ -14,6 +14,7 @@
 #include "matrix/gauss.h"
 #include "matrix/sylvester.h"
 #include "poly/poly.h"
+#include "util/bench_json.h"
 #include "util/op_count.h"
 #include "util/prng.h"
 #include "util/tables.h"
@@ -23,6 +24,7 @@ using F = kp::field::GFp;
 int main() {
   F f(kp::field::kNttPrime);
   kp::util::Prng prng(15);
+  kp::util::BenchReport report("sylvester");
   kp::poly::PolyRing<F> ring(f);
 
   auto random_monic = [&](std::size_t deg) {
@@ -37,6 +39,7 @@ int main() {
                      "agree"});
   for (std::size_t d : {0u, 2u, 5u, 10u}) {
     for (std::size_t extra : {5u, 15u}) {
+      kp::util::WallTimer wt;
       auto h = random_monic(d);
       auto pf = ring.mul(h, random_monic(extra));
       auto pg = ring.mul(h, random_monic(extra + 3));
@@ -53,6 +56,13 @@ int main() {
                  std::to_string(euclid.size() - 1), kp::util::Table::num(ops1),
                  kp::util::Table::num(ops2),
                  ring.eq(lin, euclid) ? "yes" : "NO"});
+      report.begin_row("gcd");
+      report.put("deg_f", pf.size() - 1);
+      report.put("deg_g", pg.size() - 1);
+      report.put("ops_linalg", ops1);
+      report.put("ops_euclid", ops2);
+      report.put("agree", ring.eq(lin, euclid));
+      report.put("wall_ms", wt.elapsed_ms());
     }
   }
   t.print();
@@ -64,6 +74,7 @@ int main() {
   std::printf("Resultants: randomized determinant vs elimination\n\n");
   kp::util::Table tr({"deg", "kp ops", "gauss ops", "agree"});
   for (std::size_t d : {4u, 8u, 16u, 24u}) {
+    kp::util::WallTimer wt;
     auto pf = random_monic(d);
     auto pg = random_monic(d - 1);
     kp::matrix::Sylvester<F> s(ring, pf, pg);
@@ -76,6 +87,12 @@ int main() {
     const auto ops2 = s2.counts().total();
     tr.add_row({std::to_string(d), kp::util::Table::num(ops1),
                 kp::util::Table::num(ops2), f.eq(r1, r2) ? "yes" : "NO"});
+    report.begin_row("resultant");
+    report.put("deg", d);
+    report.put("ops_kp", ops1);
+    report.put("ops_gauss", ops2);
+    report.put("agree", f.eq(r1, r2));
+    report.put("wall_ms", wt.elapsed_ms());
   }
   tr.print();
 
@@ -100,6 +117,10 @@ int main() {
       std::printf("MISMATCH at d=%zu\n", d);
       return 1;
     }
+    report.begin_row("structured_apply");
+    report.put("dim", s.dim());
+    report.put("ops_structured", ops1);
+    report.put("ops_dense", ops2);
     ts.add_row({std::to_string(s.dim()), kp::util::Table::num(ops1),
                 kp::util::Table::num(ops2),
                 kp::util::Table::num(static_cast<double>(ops1) /

@@ -17,6 +17,7 @@
 #include "core/baselines.h"
 #include "field/zp.h"
 #include "seq/newton_toeplitz.h"
+#include "util/bench_json.h"
 #include "util/op_count.h"
 #include "util/prng.h"
 #include "util/tables.h"
@@ -36,12 +37,14 @@ using F = kp::field::GFp;  // NTT-friendly prime: fast bivariate mult
 int main() {
   F f(kp::field::kNttPrime);
   kp::util::Prng prng(42);
+  kp::util::BenchReport report("toeplitz_charpoly");
 
   std::printf("E5 (Theorem 3): Toeplitz characteristic polynomial work counts\n\n");
   kp::util::Table t({"n", "newton-toeplitz ops", "berkowitz ops", "faddeev ops",
                      "newton/n^2", "berkowitz/n^4"});
   std::vector<double> ns, newton_ops, berk_ops;
   for (std::size_t n : {8u, 16u, 32u, 64u, 128u}) {
+    kp::util::WallTimer wt;
     std::vector<F::Element> diag(2 * n - 1);
     for (auto& v : diag) v = f.random(prng);
     kp::matrix::Toeplitz<F> tp(n, diag);
@@ -66,6 +69,12 @@ int main() {
     }
     ns.push_back(static_cast<double>(n));
     newton_ops.push_back(static_cast<double>(ops_newton));
+    report.begin_row("E5_work");
+    report.put("n", n);
+    report.put("ops_newton_toeplitz", ops_newton);
+    report.put("ops_berkowitz", ops_berk);
+    report.put("ops_faddeev", ops_fadd);
+    report.put("wall_ms", wt.elapsed_ms());
     if (ops_berk) berk_ops.push_back(static_cast<double>(ops_berk));
 
     const double n2 = static_cast<double>(n) * static_cast<double>(n);
@@ -89,6 +98,10 @@ int main() {
   std::vector<double> cns, sizes, depths;
   for (std::size_t n : {2u, 4u, 8u, 16u, 32u}) {
     auto c = kp::circuit::build_toeplitz_charpoly_circuit(n, kp::field::kNttPrime);
+    report.begin_row("E5_circuit");
+    report.put("n", n);
+    report.put("size", std::uint64_t{c.size()});
+    report.put("depth", static_cast<std::uint64_t>(c.depth()));
     cns.push_back(static_cast<double>(n));
     sizes.push_back(static_cast<double>(c.size()));
     depths.push_back(static_cast<double>(c.depth()));

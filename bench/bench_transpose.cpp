@@ -9,6 +9,7 @@
 #include "matrix/gauss.h"
 #include "matrix/structured.h"
 #include "poly/poly.h"
+#include "util/bench_json.h"
 #include "util/op_count.h"
 #include "util/prng.h"
 #include "util/tables.h"
@@ -18,11 +19,13 @@ using F = kp::field::GFp;
 int main() {
   F f(kp::field::kNttPrime);
   kp::util::Prng prng(31337);
+  kp::util::BenchReport report("transpose");
 
   std::printf("E9 (section 4): transposed-system circuits\n\n");
   kp::util::Table t({"n", "solver size", "solver depth", "transposed size",
                      "transposed depth", "size ratio", "depth ratio", "eval"});
   for (std::size_t n : {2u, 3u, 4u, 6u, 8u}) {
+    kp::util::WallTimer wt;
     auto solver = kp::circuit::build_solver_circuit(n, kp::field::kNttPrime);
     auto trans = kp::circuit::build_transposed_solver_circuit(n, kp::field::kNttPrime);
 
@@ -48,6 +51,14 @@ int main() {
       }
     }
 
+    report.begin_row("E9_circuit");
+    report.put("n", n);
+    report.put("solver_size", std::uint64_t{solver.size()});
+    report.put("solver_depth", static_cast<std::uint64_t>(solver.depth()));
+    report.put("transposed_size", std::uint64_t{trans.size()});
+    report.put("transposed_depth", static_cast<std::uint64_t>(trans.depth()));
+    report.put("eval_check", check);
+    report.put("wall_ms", wt.elapsed_ms());
     t.add_row({std::to_string(n), kp::util::Table::num(std::uint64_t{solver.size()}),
                std::to_string(solver.depth()),
                kp::util::Table::num(std::uint64_t{trans.size()}),
@@ -91,6 +102,11 @@ int main() {
     const bool ok2 = sol2 && v.apply_transpose(f, *sol2) == b;
     tv.add_row({std::to_string(n), kp::util::Table::num(ops1),
                 kp::util::Table::num(ops2), (ok1 && ok2) ? "yes" : "NO"});
+    report.begin_row("vandermonde");
+    report.put("n", n);
+    report.put("ops_interp", ops1);
+    report.put("ops_gauss", ops2);
+    report.put("check", ok1 && ok2);
   }
   tv.print();
   std::printf("\nInterpolation-based solving is the O(n^2)->O(M(n) log n) fast path the\n"

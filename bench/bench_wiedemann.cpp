@@ -11,6 +11,7 @@
 #include "matrix/blackbox.h"
 #include "matrix/gauss.h"
 #include "matrix/sparse.h"
+#include "util/bench_json.h"
 #include "util/op_count.h"
 #include "util/prng.h"
 #include "util/tables.h"
@@ -20,6 +21,7 @@ using F = kp::field::Zp<1000003>;
 int main() {
   F f;
   kp::util::Prng prng(4242);
+  kp::util::BenchReport report("wiedemann");
 
   std::printf("E14 (section 2): sparse black-box solve, Wiedemann vs elimination\n\n");
   kp::util::Table t({"n", "nnz/row", "wiedemann ops", "gauss ops", "ratio", "check"});
@@ -33,9 +35,11 @@ int main() {
       auto b = sp.apply(f, x);
 
       kp::matrix::SparseBox<F> box(f, sp);
+      kp::util::WallTimer wt;
       kp::util::OpScope s1;
       auto sol = kp::core::wiedemann_solve(f, box, b, prng, 1u << 30);
       const auto ops_w = s1.counts().total();
+      const double wied_ms = wt.elapsed_ms();
 
       kp::util::OpScope s2;
       auto ref = kp::matrix::solve_gauss(f, dense, b);
@@ -48,6 +52,13 @@ int main() {
                                           static_cast<double>(ops_g),
                                       3),
                  ok ? "ok" : "FAIL"});
+      report.begin_row("wiedemann_vs_gauss");
+      report.put("n", n);
+      report.put("nnz_per_row", per_row);
+      report.put("ops_wiedemann", ops_w);
+      report.put("ops_gauss", ops_g);
+      report.put("wall_ms", wied_ms);
+      report.put("check", ok);
     }
   }
   t.print();

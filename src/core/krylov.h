@@ -115,13 +115,22 @@ std::vector<typename F::Element> krylov_sequence_doubling(
 }
 
 /// K * c for a Krylov block K: evaluates (sum_i c_i A^i) v from the block
-/// columns -- the Cayley-Hamilton finish of the Theorem-4 solver.
+/// columns -- the Cayley-Hamilton finish of the Theorem-4 solver.  Rows are
+/// contiguous, so word-sized prime fields take the fused delayed-reduction
+/// dot (same canonical values, same per-row mul/add charges).
 template <kp::field::Field F>
 std::vector<typename F::Element> krylov_combine(
     const F& f, const matrix::Matrix<F>& block,
     const std::vector<typename F::Element>& coeffs) {
   assert(coeffs.size() <= block.cols());
   std::vector<typename F::Element> out(block.rows(), f.zero());
+  if constexpr (kp::field::kernels::FastField<F>) {
+    for (std::size_t i = 0; i < block.rows(); ++i) {
+      out[i] = kp::field::kernels::dot(f, block.row(i), coeffs.data(),
+                                       coeffs.size());
+    }
+    return out;
+  }
   std::vector<typename F::Element> terms;
   terms.reserve(coeffs.size());
   for (std::size_t i = 0; i < block.rows(); ++i) {

@@ -1,0 +1,202 @@
+// The fast-kernel layer: trait-selected fused block operations.
+//
+// FieldKernels<F> is the customization point that tells the matrix / NTT /
+// sequence layers whether a domain's elements are word-sized canonical
+// residues that the reduction-free kernels of field/fastmod.h may operate
+// on.  The primary template says "no", so every domain -- extension fields,
+// rationals, truncated series, and crucially the symbolic
+// CircuitBuilderField -- keeps the generic element-by-element path
+// unchanged.  Zp<P> and GFp opt in.
+//
+// THE CONTRACT (tested in tests/test_kernels.cpp):
+//   1. bit-identical results: each kernel returns exactly the canonical
+//      representatives the reference path produces;
+//   2. identical op accounting: a kernel that fuses k logical field
+//      operations bulk-charges those same k operations to the thread-local
+//      counters, so OpScope measurements cannot tell the paths apart;
+//   3. composability: kernels are pure per-call and safe to invoke from
+//      pooled ExecutionContext workers (counts fold back to the submitter
+//      exactly as the reference ops do).
+//
+// The kernels themselves are the classic delayed-reduction shapes: inner
+// products accumulate raw 128-bit products and reduce once per output
+// (spilling every delayed_dot_capacity(p) terms for small headroom), sums
+// accumulate 64-bit residues into a 128-bit counter, and batched inversion
+// is Montgomery's trick (one extended Euclid plus 3(k-1) multiplies for k
+// inverses, still charged as k logical divisions -- the model prices an
+// inversion as one division regardless of how it is realized, exactly as
+// the seed's extended-Euclid inv() already did).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+#include "field/fastmod.h"
+#include "field/zp.h"
+#include "util/op_count.h"
+
+namespace kp::field {
+
+/// Primary template: no fast kernels; generic paths only.
+template <class F>
+struct FieldKernels {
+  static constexpr bool kFast = false;
+};
+
+/// Compile-time-modulus prime field: a constexpr Barrett context.
+template <std::uint64_t P>
+struct FieldKernels<Zp<P>> {
+  static constexpr bool kFast = true;
+  static constexpr const fastmod::Barrett& barrett(const Zp<P>&) {
+    return Zp<P>::barrett();
+  }
+  static std::uint64_t mul_nocount(const Zp<P>&, std::uint64_t a,
+                                   std::uint64_t b) {
+    return Zp<P>::mul_nocount(a, b);
+  }
+};
+
+/// Runtime-modulus prime field: the context precomputed by the domain.
+template <>
+struct FieldKernels<GFp> {
+  static constexpr bool kFast = true;
+  static const fastmod::Barrett& barrett(const GFp& f) { return f.barrett(); }
+  static std::uint64_t mul_nocount(const GFp& f, std::uint64_t a,
+                                   std::uint64_t b) {
+    return f.mul_nocount(a, b);
+  }
+};
+
+namespace kernels {
+
+/// Fields whose block operations may go through the fused kernels.
+template <class F>
+concept FastField =
+    FieldKernels<F>::kFast && std::is_same_v<typename F::Element, std::uint64_t>;
+
+/// Uncounted canonical product; for call sites that already charged the
+/// operation under another name (e.g. div = one division, like the fields'
+/// own mul_nocount, which this forwards to -- REDC for odd moduli).
+template <FastField F>
+inline std::uint64_t mul_uncounted(const F& f, std::uint64_t a, std::uint64_t b) {
+  return FieldKernels<F>::mul_nocount(f, a, b);
+}
+
+/// Sum of n residues; replaces balanced_sum's add tree (same canonical
+/// value, same n-1 logical additions).  Residues are < p < 2^63, so a
+/// 128-bit accumulator cannot overflow for any realizable n.
+template <FastField F>
+std::uint64_t sum(const F& f, const std::uint64_t* a, std::size_t n) {
+  if (n == 0) return 0;
+  kp::util::count_adds(n - 1);
+  const auto& bar = FieldKernels<F>::barrett(f);
+  fastmod::u128 acc = 0;
+  for (std::size_t i = 0; i < n; ++i) acc += a[i];
+  return bar.reduce_full(acc);
+}
+
+/// Strided delayed-reduction inner product: sum_i a[i*sa] * b[i*sb] mod p.
+/// Accounting matches mul-then-balanced_sum: n multiplications plus n-1
+/// additions (zero additions for n <= 1).
+template <FastField F>
+std::uint64_t dot(const F& f, const std::uint64_t* a, const std::uint64_t* b,
+                  std::size_t n, std::size_t sa = 1, std::size_t sb = 1) {
+  if (n == 0) return 0;
+  kp::util::count_muls(n);
+  kp::util::count_adds(n - 1);
+  const auto& bar = FieldKernels<F>::barrett(f);
+  const std::uint64_t cap = bar.dcap;
+  fastmod::u128 acc = 0;
+  std::uint64_t left = cap;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += static_cast<fastmod::u128>(a[i * sa]) * b[i * sb];
+    if (--left == 0) {
+      acc = bar.reduce_full(acc);
+      left = cap;
+    }
+  }
+  return bar.reduce_full(acc);
+}
+
+/// Inner product that skips zero left-hand entries, mirroring
+/// mul_classical's `if (eq(a[k], 0)) continue;`: charges one multiplication
+/// per nonzero term and nnz-1 additions.
+template <FastField F>
+std::uint64_t dot_skip_zero(const F& f, const std::uint64_t* a,
+                            const std::uint64_t* b, std::size_t n,
+                            std::size_t sb = 1) {
+  const auto& bar = FieldKernels<F>::barrett(f);
+  const std::uint64_t cap = bar.dcap;
+  fastmod::u128 acc = 0;
+  std::uint64_t left = cap;
+  std::size_t nnz = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a[i] == 0) continue;
+    ++nnz;
+    acc += static_cast<fastmod::u128>(a[i]) * b[i * sb];
+    if (--left == 0) {
+      acc = bar.reduce_full(acc);
+      left = cap;
+    }
+  }
+  if (nnz > 0) {
+    kp::util::count_muls(nnz);
+    kp::util::count_adds(nnz - 1);
+  }
+  return bar.reduce_full(acc);
+}
+
+/// Gathered inner product sum_k val[k] * x[col[k]] with the CSR apply's
+/// linear-chain accounting (n multiplications and n additions: the
+/// reference folds the first term into a zero accumulator).
+template <FastField F>
+std::uint64_t dot_gather(const F& f, const std::uint64_t* val,
+                         const std::size_t* col, const std::uint64_t* x,
+                         std::size_t n) {
+  kp::util::count_muls(n);
+  kp::util::count_adds(n);
+  const auto& bar = FieldKernels<F>::barrett(f);
+  const std::uint64_t cap = bar.dcap;
+  fastmod::u128 acc = 0;
+  std::uint64_t left = cap;
+  for (std::size_t k = 0; k < n; ++k) {
+    acc += static_cast<fastmod::u128>(val[k]) * x[col[k]];
+    if (--left == 0) {
+      acc = bar.reduce_full(acc);
+      left = cap;
+    }
+  }
+  return bar.reduce_full(acc);
+}
+
+/// Montgomery's batched-inversion trick: inverts a[0..n) in place with ONE
+/// extended Euclid and 3(n-1) uncounted multiplies.  Charged as n logical
+/// divisions -- the same price as n calls to f.inv() -- and the field
+/// inverse is unique, so the values are bit-identical to the one-by-one
+/// path.  All entries must be nonzero (as the reference path asserts).
+template <FastField F>
+void batch_inverse(const F& f, std::uint64_t* a, std::size_t n) {
+  if (n == 0) return;
+  kp::util::count_divs(n);
+  std::vector<std::uint64_t> prefix(n);
+  std::uint64_t acc = 1;  // p >= 2, so 1 is canonical
+  for (std::size_t i = 0; i < n; ++i) {
+    assert(a[i] != 0 && "division by zero in batch_inverse");
+    acc = mul_uncounted(f, acc, a[i]);
+    prefix[i] = acc;
+  }
+  std::uint64_t inv_suffix = detail::invmod(acc, FieldKernels<F>::barrett(f).p);
+  for (std::size_t i = n; i-- > 1;) {
+    const std::uint64_t inv_i = mul_uncounted(f, inv_suffix, prefix[i - 1]);
+    inv_suffix = mul_uncounted(f, inv_suffix, a[i]);
+    a[i] = inv_i;
+  }
+  a[0] = inv_suffix;
+}
+
+}  // namespace kernels
+
+}  // namespace kp::field

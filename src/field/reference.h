@@ -1,0 +1,91 @@
+// The seed's Z/pZ implementation, frozen.
+//
+// GFpReference is the runtime-modulus prime field exactly as it existed
+// before the fast-kernel layer: every multiplication is a 128-bit `%`
+// reduction and every block operation goes down the generic element-by-
+// element path (FieldKernels<GFpReference> stays at the non-fast default).
+// It exists for two consumers:
+//
+//   * the kernel-equivalence property tests (tests/test_kernels.cpp), which
+//     assert that the Montgomery/Barrett/delayed-reduction/Shoup paths are
+//     bit-identical to this field and charge identical op counts;
+//   * bench_kernels, which measures the fast layer's wall-clock speedup
+//     against the true seed path rather than a de-optimized strawman.
+//
+// Do not "optimize" this type; its whole value is being the fixed baseline.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+#include "field/concepts.h"
+#include "field/zp.h"
+#include "util/op_count.h"
+#include "util/prng.h"
+
+namespace kp::field {
+
+/// Z/pZ with runtime modulus and seed ("slow reference") arithmetic.
+class GFpReference {
+ public:
+  using Element = std::uint64_t;
+
+  explicit GFpReference(std::uint64_t p) : p_(p) {
+    assert(p >= 2 && p < (1ULL << 63));
+  }
+
+  Element zero() const { return 0; }
+  Element one() const { return 1 % p_; }
+
+  Element add(Element a, Element b) const {
+    kp::util::count_add();
+    const Element s = a + b;
+    return s >= p_ ? s - p_ : s;
+  }
+  Element sub(Element a, Element b) const {
+    kp::util::count_add();
+    return a >= b ? a - b : a + p_ - b;
+  }
+  Element neg(Element a) const {
+    kp::util::count_add();
+    return a == 0 ? 0 : p_ - a;
+  }
+  Element mul(Element a, Element b) const {
+    kp::util::count_mul();
+    return detail::mulmod(a, b, p_);
+  }
+  Element inv(Element a) const {
+    kp::util::count_div();
+    return detail::invmod(a, p_);
+  }
+  Element div(Element a, Element b) const {
+    return detail::mulmod(a, inv(b), p_);
+  }
+
+  bool is_zero(Element a) const {
+    kp::util::count_zero_test();
+    return a == 0;
+  }
+  bool eq(Element a, Element b) const { return a == b; }
+
+  Element from_int(std::int64_t v) const {
+    const std::int64_t m = v % static_cast<std::int64_t>(p_);
+    return static_cast<Element>(m < 0 ? m + static_cast<std::int64_t>(p_) : m);
+  }
+  Element random(kp::util::Prng& prng) const { return prng.below(p_); }
+  Element sample(kp::util::Prng& prng, std::uint64_t s) const {
+    return prng.below(s < p_ ? s : p_);
+  }
+
+  std::uint64_t characteristic() const { return p_; }
+  std::uint64_t cardinality() const { return p_; }
+  std::string to_string(Element a) const { return std::to_string(a); }
+
+  std::uint64_t modulus() const { return p_; }
+
+ private:
+  std::uint64_t p_;
+};
+
+}  // namespace kp::field

@@ -5,10 +5,18 @@
 //   * GFp     -- runtime modulus; used when the modulus is data (e.g. when an
 //                experiment sweeps field sizes, or the user supplies p).
 //
-// Elements are canonical representatives in [0, p).  All reductions use
-// 128-bit intermediates, so any p < 2^63 is supported.  Every arithmetic
-// operation reports to the thread-local op counters (util/op_count.h), which
-// is how benchmarks measure work in the paper's unit cost model.
+// Elements are canonical representatives in [0, p), so any p < 2^63 is
+// supported.  Every arithmetic operation reports to the thread-local op
+// counters (util/op_count.h), which is how benchmarks measure work in the
+// paper's unit cost model.
+//
+// Multiplication is division-free (field/fastmod.h): both fields use
+// Montgomery REDC chains for odd moduli (compile-time constants for Zp<P>,
+// a context precomputed per domain object for GFp) and fall back to the
+// Möller-Granlund/Barrett reciprocal for the lone even prime.  Both produce
+// the same canonical representative as the reference 128-bit `%` path bit
+// for bit -- field/reference.h keeps that path alive as GFpReference for
+// the equivalence tests and benches.
 #pragma once
 
 #include <cassert>
@@ -17,6 +25,7 @@
 #include <utility>
 
 #include "field/concepts.h"
+#include "field/fastmod.h"
 #include "util/op_count.h"
 #include "util/prng.h"
 
@@ -86,7 +95,7 @@ class Zp {
   }
   Element mul(Element a, Element b) const {
     kp::util::count_mul();
-    return detail::mulmod(a, b, P);
+    return mul_nocount(a, b);
   }
   Element inv(Element a) const {
     kp::util::count_div();
@@ -113,11 +122,24 @@ class Zp {
   std::uint64_t cardinality() const { return P; }
   std::string to_string(Element a) const { return std::to_string(a); }
 
- private:
-  // div() already charged one division; do not double-charge the multiply.
+  /// The reduction context shared with the block kernels (field/kernels.h).
+  static constexpr const fastmod::Barrett& barrett() { return kBarrett; }
+
+  /// Uncounted product (div() already charged one division for its
+  /// multiply; the block kernels charge their own bulk counts).
   static Element mul_nocount(Element a, Element b) {
-    return detail::mulmod(a, b, P);
+    if constexpr (kUseMontgomery) {
+      return kMontgomery.mul(a, b);
+    } else {
+      return detail::mulmod(a, b, P);
+    }
   }
+
+ private:
+  static constexpr bool kUseMontgomery = (P & 1) != 0;
+  static constexpr fastmod::Montgomery kMontgomery =
+      fastmod::Montgomery(kUseMontgomery ? P : 3);
+  static constexpr fastmod::Barrett kBarrett = fastmod::Barrett(P);
 };
 
 /// Z/pZ with runtime prime modulus.
@@ -125,7 +147,8 @@ class GFp {
  public:
   using Element = std::uint64_t;
 
-  explicit GFp(std::uint64_t p) : p_(p) {
+  explicit GFp(std::uint64_t p)
+      : p_(p), odd_((p & 1) != 0), barrett_(p), mont_(odd_ ? p : 3) {
     assert(p >= 2 && p < (1ULL << 63));
   }
 
@@ -147,14 +170,14 @@ class GFp {
   }
   Element mul(Element a, Element b) const {
     kp::util::count_mul();
-    return detail::mulmod(a, b, p_);
+    return mul_nocount(a, b);
   }
   Element inv(Element a) const {
     kp::util::count_div();
     return detail::invmod(a, p_);
   }
   Element div(Element a, Element b) const {
-    return detail::mulmod(a, inv(b), p_);
+    return mul_nocount(a, inv(b));
   }
 
   bool is_zero(Element a) const {
@@ -178,8 +201,22 @@ class GFp {
 
   std::uint64_t modulus() const { return p_; }
 
+  /// The reduction context shared with the block kernels (field/kernels.h).
+  const fastmod::Barrett& barrett() const { return barrett_; }
+
+  /// Uncounted product (div() already charged one division for its
+  /// multiply; the block kernels charge their own bulk counts).  REDC when
+  /// the modulus is odd -- a double-REDC chain beats even a fast hardware
+  /// divider -- and the Barrett reciprocal for the lone even prime.
+  Element mul_nocount(Element a, Element b) const {
+    return odd_ ? mont_.mul(a, b) : barrett_.mul(a, b);
+  }
+
  private:
   std::uint64_t p_;
+  bool odd_;
+  fastmod::Barrett barrett_;
+  fastmod::Montgomery mont_;
 };
 
 /// Default large test primes.  With p ~ 2^61 the failure bound 3n²/|S| of

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "field/concepts.h"
+#include "field/kernels.h"
 #include "pram/parallel_for.h"
 #include "util/prng.h"
 
@@ -25,10 +26,17 @@ inline constexpr std::size_t kParallelGrain = 1 << 15;
 /// kernel in the library accumulates this way so that circuits built over
 /// the symbolic CircuitBuilderField have the logarithmic depth the paper's
 /// PRAM model assumes.  The buffer is consumed.
+///
+/// Word-sized prime fields take the delayed-reduction kernel instead: one
+/// 128-bit accumulation per term and a single reduction, which yields the
+/// same canonical residue and charges the same n-1 additions.
 template <kp::field::CommutativeRing R>
 typename R::Element balanced_sum(const R& r,
                                  std::vector<typename R::Element>& terms) {
   if (terms.empty()) return r.zero();
+  if constexpr (kp::field::kernels::FastField<R>) {
+    return kp::field::kernels::sum(r, terms.data(), terms.size());
+  }
   std::size_t count = terms.size();
   while (count > 1) {
     std::size_t out = 0;
@@ -171,6 +179,18 @@ std::vector<typename R::Element> mat_vec(const R& r, const Matrix<R>& a,
                                          const std::vector<typename R::Element>& x) {
   assert(a.cols() == x.size());
   std::vector<typename R::Element> out(a.rows(), r.zero());
+  if constexpr (kp::field::kernels::FastField<R>) {
+    // Fused delayed-reduction rows: one reduction per output entry.
+    auto fast_row = [&](std::size_t i) {
+      out[i] = kp::field::kernels::dot(r, a.row(i), x.data(), a.cols());
+    };
+    if (kp::field::concurrent_ops_v<R> && a.rows() * a.cols() >= kParallelGrain) {
+      kp::pram::parallel_for(0, a.rows(), fast_row);
+    } else {
+      for (std::size_t i = 0; i < a.rows(); ++i) fast_row(i);
+    }
+    return out;
+  }
   auto row_product = [&](std::size_t i, std::vector<typename R::Element>& terms) {
     const auto* row = a.row(i);
     terms.clear();
@@ -200,6 +220,13 @@ std::vector<typename R::Element> vec_mat(const R& r,
                                          const Matrix<R>& a) {
   assert(a.rows() == x.size());
   std::vector<typename R::Element> out(a.cols(), r.zero());
+  if constexpr (kp::field::kernels::FastField<R>) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      out[j] = kp::field::kernels::dot(r, x.data(), a.data().data() + j,
+                                       a.rows(), 1, a.cols());
+    }
+    return out;
+  }
   std::vector<typename R::Element> terms;
   for (std::size_t j = 0; j < a.cols(); ++j) {
     terms.clear();
@@ -216,6 +243,9 @@ template <kp::field::CommutativeRing R>
 typename R::Element dot(const R& r, const std::vector<typename R::Element>& x,
                         const std::vector<typename R::Element>& y) {
   assert(x.size() == y.size());
+  if constexpr (kp::field::kernels::FastField<R>) {
+    return kp::field::kernels::dot(r, x.data(), y.data(), x.size());
+  }
   std::vector<typename R::Element> terms;
   terms.reserve(x.size());
   for (std::size_t i = 0; i < x.size(); ++i) {

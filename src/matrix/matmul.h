@@ -30,6 +30,26 @@ namespace detail {
 template <kp::field::CommutativeRing R>
 Matrix<R> mul_classical(const R& r, const Matrix<R>& a, const Matrix<R>& b) {
   Matrix<R> out(a.rows(), b.cols(), r.zero());
+  if constexpr (kp::field::kernels::FastField<R>) {
+    // Fused delayed-reduction inner products with the same zero-skip as the
+    // generic loop below (one multiplication charged per nonzero a-entry).
+    const std::size_t stride = b.cols();
+    auto fast_row = [&](std::size_t i) {
+      const auto* arow = a.row(i);
+      auto* orow = out.row(i);
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        orow[j] = kp::field::kernels::dot_skip_zero(
+            r, arow, b.data().data() + j, a.cols(), stride);
+      }
+    };
+    if (kp::field::concurrent_ops_v<R> &&
+        a.rows() * a.cols() * b.cols() >= kParallelGrain) {
+      kp::pram::parallel_for(0, a.rows(), fast_row);
+    } else {
+      for (std::size_t i = 0; i < a.rows(); ++i) fast_row(i);
+    }
+    return out;
+  }
   auto out_row = [&](std::size_t i, std::vector<typename R::Element>& terms) {
     const auto* arow = a.row(i);
     auto* orow = out.row(i);
@@ -124,6 +144,11 @@ Matrix<R> mat_mul(const R& r, const Matrix<R>& a, const Matrix<R>& b,
   std::size_t n = 1;
   while (n < a.rows() || n < a.cols() || n < b.cols()) n <<= 1;
   if (n <= strassen_threshold) return detail::mul_classical(r, a, b);
+  // Already-square power-of-two inputs need no pad copies (and the product
+  // is already the requested shape, so no final trim either).
+  if (a.rows() == n && a.cols() == n && b.rows() == n && b.cols() == n) {
+    return detail::mul_strassen_pow2(r, a, b, strassen_threshold);
+  }
   const Matrix<R> pa = detail::submatrix(r, a, 0, 0, n, n);
   const Matrix<R> pb = detail::submatrix(r, b, 0, 0, n, n);
   const Matrix<R> prod = detail::mul_strassen_pow2(r, pa, pb, strassen_threshold);

@@ -54,16 +54,26 @@ class Sparse {
 
   /// y = A x in O(nnz) ring operations.  Rows are independent, so large
   /// products run on the pooled ExecutionContext (bit-identical results for
-  /// every worker count).
+  /// every worker count).  Word-sized prime fields take the gathered
+  /// delayed-reduction kernel (one reduction per row, same linear-chain
+  /// accounting of nnz multiplications and nnz additions).
   std::vector<Element> apply(const R& r, const std::vector<Element>& x) const {
     assert(x.size() == cols_);
     std::vector<Element> y(rows_, r.zero());
     auto row_product = [&](std::size_t i) {
-      auto acc = r.zero();
-      for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
-        acc = r.add(acc, r.mul(val_[k], x[col_[k]]));
+      if constexpr (kp::field::kernels::FastField<R>) {
+        const std::size_t lo = row_ptr_[i];
+        y[i] = kp::field::kernels::dot_gather(r, val_.data() + lo,
+                                              col_.data() + lo, x.data(),
+                                              row_ptr_[i + 1] - lo);
+        return;
+      } else {
+        auto acc = r.zero();
+        for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+          acc = r.add(acc, r.mul(val_[k], x[col_[k]]));
+        }
+        y[i] = std::move(acc);
       }
-      y[i] = std::move(acc);
     };
     if (kp::field::concurrent_ops_v<R> && nnz() >= kParallelGrain) {
       kp::pram::parallel_for(0, rows_, row_product);

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "field/concepts.h"
+#include "field/kernels.h"
 #include "poly/poly_ring.h"
 
 namespace kp::poly {
@@ -37,13 +38,30 @@ typename PolyRing<F>::Element interpolate(
   const std::size_t n = points.size();
   if (n == 0) return ring.zero();
 
-  // Divided differences.
+  // Divided differences.  The denominators of one level depend only on the
+  // points, so word-sized prime fields invert them together (Montgomery's
+  // batch trick, one Euclid per level instead of one per entry, still
+  // charged as one logical division each).
   std::vector<typename F::Element> dd = values;
   for (std::size_t level = 1; level < n; ++level) {
-    for (std::size_t i = n - 1; i >= level; --i) {
-      const auto denom = f.sub(points[i], points[i - level]);
-      assert(!f.eq(denom, f.zero()) && "interpolation points must be distinct");
-      dd[i] = f.div(f.sub(dd[i], dd[i - 1]), denom);
+    if constexpr (kp::field::kernels::FastField<F>) {
+      std::vector<typename F::Element> denom(n - level);
+      for (std::size_t i = n - 1; i >= level; --i) {
+        denom[i - level] = f.sub(points[i], points[i - level]);
+        assert(!f.eq(denom[i - level], f.zero()) &&
+               "interpolation points must be distinct");
+      }
+      kp::field::kernels::batch_inverse(f, denom.data(), denom.size());
+      for (std::size_t i = n - 1; i >= level; --i) {
+        dd[i] = kp::field::kernels::mul_uncounted(f, f.sub(dd[i], dd[i - 1]),
+                                                  denom[i - level]);
+      }
+    } else {
+      for (std::size_t i = n - 1; i >= level; --i) {
+        const auto denom = f.sub(points[i], points[i - level]);
+        assert(!f.eq(denom, f.zero()) && "interpolation points must be distinct");
+        dd[i] = f.div(f.sub(dd[i], dd[i - 1]), denom);
+      }
     }
   }
 

@@ -4,16 +4,33 @@
 // box of the paper for the common case K = Z/pZ with 2^k | p-1.  All
 // butterflies go through the field domain, so NTT work is measured in the
 // same unit cost model as everything else.
+//
+// Twiddle factors are cached per (modulus, root, transform size): the seed
+// rebuilt the n/2-entry power table with a mulmod chain on every call, which
+// dominated setup for the thousands of transforms a Newton-on-Toeplitz run
+// issues.  Each cached table also carries Shoup precomputed quotients in a
+// per-level streamed layout, so word-sized prime fields (FieldKernels,
+// field/kernels.h) run Harvey-style lazy butterflies -- three word multiplies
+// each, residues in [0, 4p), one normalization pass at the end, no 128-bit
+// division anywhere -- while producing exactly the canonical values and
+// charging exactly the logical op counts of the generic path.  Symbolic
+// domains (CircuitBuilderField) keep the generic path: cached INTEGER powers
+// injected with from_int, preserving the O(log n)-depth circuits.
 #pragma once
 
+#include <array>
 #include <cassert>
 #include <cstdint>
+#include <map>
 #include <unordered_map>
 #include <vector>
 
+#include "field/kernels.h"
 #include "field/primes.h"
+#include "field/reference.h"
 #include "field/zp.h"
 #include "poly/poly_ring.h"
+#include "util/op_count.h"
 
 namespace kp::poly {
 
@@ -40,40 +57,174 @@ inline std::uint64_t cached_primitive_root(std::uint64_t p) {
   return g;
 }
 
-/// In-place iterative radix-2 NTT.  `w_int` must be a primitive n-th root of
-/// unity mod p where n = a.size() is a power of two.  Twiddle factors are
-/// precomputed as INTEGER powers and injected with from_int: they are
-/// constants of the computation, so a recorded circuit gets O(log n) depth
-/// (a running twiddle product would be an O(n)-deep dependency chain).
-/// Butterfly arithmetic goes through the field domain and is op-counted.
-template <class F>
-void ntt_inplace(const F& f, std::vector<typename F::Element>& a,
-                 std::uint64_t w_int, std::uint64_t p) {
+/// Twiddle powers w^k, k < n/2, for one (modulus, root, size) triple.
+/// `pow` holds them in power order as raw integers (the generic path injects
+/// them with from_int; they are constants of the computation, so recorded
+/// circuits keep O(log n) depth).  `level_pow` / `level_shoup` hold the same
+/// values re-ordered per butterfly level -- level len contributes its len/2
+/// twiddles contiguously -- so the fast path streams them with a bumped
+/// pointer instead of a strided gather, alongside their Shoup quotients.
+struct TwiddleTable {
+  std::vector<std::uint64_t> pow;
+  std::vector<std::uint64_t> level_pow;
+  std::vector<std::uint64_t> level_shoup;
+};
+
+/// Per-thread table cache.  Thread-local like cached_primitive_root: no
+/// locks, and pooled workers that issue their own transforms build their own
+/// copies (tables are a few KB per size).
+inline const TwiddleTable& cached_twiddles(std::uint64_t p, std::uint64_t w,
+                                           std::size_t n) {
+  thread_local std::map<std::array<std::uint64_t, 3>, TwiddleTable> cache;
+  const std::array<std::uint64_t, 3> key{p, w, static_cast<std::uint64_t>(n)};
+  auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+  TwiddleTable t;
+  const std::size_t half = std::max<std::size_t>(n / 2, 1);
+  t.pow.reserve(half);
+  std::uint64_t acc = 1;
+  for (std::size_t k = 0; k < half; ++k) {
+    t.pow.push_back(acc);
+    acc = kp::field::detail::mulmod(acc, w, p);
+  }
+  t.level_pow.reserve(n ? n - 1 : 0);
+  t.level_shoup.reserve(n ? n - 1 : 0);
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const std::size_t step = n / len;
+    for (std::size_t j = 0; j < len / 2; ++j) {
+      const std::uint64_t tw = t.pow[j * step];
+      t.level_pow.push_back(tw);
+      t.level_shoup.push_back(kp::field::fastmod::shoup_precompute(tw, p));
+    }
+  }
+  return cache.emplace(key, std::move(t)).first->second;
+}
+
+/// Cached 1/n mod p and its Shoup quotient for the inverse-transform scale.
+/// The logical division is still charged at every use; the cache only
+/// removes the repeated extended-Euclid runs (one per polynomial product in
+/// the seed).
+struct ScaleInverse {
+  std::uint64_t n_inv;
+  std::uint64_t n_inv_shoup;
+};
+
+inline const ScaleInverse& cached_scale_inverse(std::uint64_t p, std::size_t n) {
+  thread_local std::map<std::array<std::uint64_t, 2>, ScaleInverse> cache;
+  const std::array<std::uint64_t, 2> key{p, static_cast<std::uint64_t>(n)};
+  auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+  const std::uint64_t n_inv =
+      kp::field::detail::invmod(static_cast<std::uint64_t>(n % p), p);
+  return cache
+      .emplace(key, ScaleInverse{n_inv,
+                                 kp::field::fastmod::shoup_precompute(n_inv, p)})
+      .first->second;
+}
+
+/// Bit-reversal permutation shared by both butterfly paths.
+template <class E>
+void bitrev_permute(std::vector<E>& a) {
   const std::size_t n = a.size();
-  assert((n & (n - 1)) == 0 && "NTT size must be a power of two");
-  // Bit-reversal permutation.
   for (std::size_t i = 1, j = 0; i < n; ++i) {
     std::size_t bit = n >> 1;
     for (; j & bit; bit >>= 1) j ^= bit;
     j ^= bit;
     if (i < j) std::swap(a[i], a[j]);
   }
-  // Twiddle table: tw[k] = w^k for k < n/2, as field constants.
-  std::vector<typename F::Element> tw;
-  tw.reserve(n / 2 + 1);
-  std::uint64_t acc = 1;
-  for (std::size_t k = 0; k < std::max<std::size_t>(n / 2, 1); ++k) {
-    tw.push_back(f.from_int(static_cast<std::int64_t>(acc)));
-    acc = kp::field::detail::mulmod(acc, w_int, p);
-  }
-  for (std::size_t len = 2; len <= n; len <<= 1) {
-    const std::size_t step = n / len;
-    for (std::size_t i = 0; i < n; i += len) {
-      for (std::size_t j = 0; j < len / 2; ++j) {
-        const auto u = a[i + j];
-        const auto v = f.mul(a[i + j + len / 2], tw[j * step]);
-        a[i + j] = f.add(u, v);
-        a[i + j + len / 2] = f.sub(u, v);
+}
+
+/// In-place iterative radix-2 NTT.  `w_int` must be a primitive n-th root of
+/// unity mod p where n = a.size() is a power of two.  Word-sized prime
+/// fields run cached Shoup butterflies directly on the residues and
+/// bulk-charge the identical logical op counts (one multiplication and two
+/// additions per butterfly); other domains evaluate the same butterflies
+/// through the field interface with the cached integer twiddles.
+template <class F>
+void ntt_inplace(const F& f, std::vector<typename F::Element>& a,
+                 std::uint64_t w_int, std::uint64_t p) {
+  const std::size_t n = a.size();
+  assert((n & (n - 1)) == 0 && "NTT size must be a power of two");
+  bitrev_permute(a);
+  const TwiddleTable& table = cached_twiddles(p, w_int, n);
+  if constexpr (kp::field::kernels::FastField<F>) {
+    const std::uint64_t* tw = table.level_pow.data();
+    const std::uint64_t* twq = table.level_shoup.data();
+    std::uint64_t* __restrict d = a.data();
+    if (p < (1ULL << 62)) {
+      // Harvey's lazy butterflies: residues ride in [0, 4p) (4p < 2^64),
+      // the multiplicand correction happens inside shoup_mul_lazy's slack,
+      // and one normalization pass restores canonical [0, p) -- ~4x fewer
+      // data-dependent corrections than the eager loop below.
+      const std::uint64_t p2 = 2 * p;
+      for (std::size_t len = 2; len <= n; len <<= 1) {
+        const std::size_t half = len / 2;
+        for (std::size_t i = 0; i < n; i += len) {
+          std::uint64_t* __restrict lo = d + i;
+          std::uint64_t* __restrict hi = d + i + half;
+          for (std::size_t j = 0; j < half; ++j) {
+            std::uint64_t u = lo[j];
+            if (u >= p2) u -= p2;
+            const std::uint64_t v =
+                kp::field::fastmod::shoup_mul_lazy(hi[j], tw[j], twq[j], p);
+            lo[j] = u + v;        // < 4p
+            hi[j] = u + p2 - v;   // < 4p
+          }
+        }
+        tw += half;
+        twq += half;
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        std::uint64_t x = d[i];
+        if (x >= p2) x -= p2;
+        if (x >= p) x -= p;
+        d[i] = x;
+      }
+    } else {
+      // p in [2^62, 2^63): no headroom for lazy residues; eager canonical
+      // butterflies with the same streamed twiddle layout.
+      for (std::size_t len = 2; len <= n; len <<= 1) {
+        const std::size_t half = len / 2;
+        for (std::size_t i = 0; i < n; i += len) {
+          for (std::size_t j = 0; j < half; ++j) {
+            const std::uint64_t u = d[i + j];
+            const std::uint64_t v = kp::field::fastmod::shoup_mul(
+                d[i + j + half], tw[j], twq[j], p);
+            std::uint64_t s = u + v;
+            if (s >= p) s -= p;
+            d[i + j] = s;
+            d[i + j + half] = u >= v ? u - v : u + p - v;
+          }
+        }
+        tw += half;
+        twq += half;
+      }
+    }
+    if (n > 1) {
+      // log2(n) levels of n/2 butterflies: 1 mul + 2 adds each, exactly as
+      // the generic path charges per butterfly.
+      std::uint64_t levels = 0;
+      for (std::size_t m = n; m > 1; m >>= 1) ++levels;
+      kp::util::count_muls(levels * (n / 2));
+      kp::util::count_adds(levels * n);
+    }
+    return;
+  } else {
+    // Twiddle table as field constants, from the cached integer powers.
+    std::vector<typename F::Element> tw;
+    tw.reserve(table.pow.size());
+    for (const std::uint64_t w : table.pow) {
+      tw.push_back(f.from_int(static_cast<std::int64_t>(w)));
+    }
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+      const std::size_t step = n / len;
+      for (std::size_t i = 0; i < n; i += len) {
+        for (std::size_t j = 0; j < len / 2; ++j) {
+          const auto u = a[i + j];
+          const auto v = f.mul(a[i + j + len / 2], tw[j * step]);
+          a[i + j] = f.add(u, v);
+          a[i + j + len / 2] = f.sub(u, v);
+        }
       }
     }
   }
@@ -105,11 +256,26 @@ std::vector<typename F::Element> ntt_mul_prime_field(
   fb.resize(n, f.zero());
   detail::ntt_inplace(f, fa, w, p);
   detail::ntt_inplace(f, fb, w, p);
-  for (std::size_t i = 0; i < n; ++i) fa[i] = f.mul(fa[i], fb[i]);
   const std::uint64_t w_inv = kp::field::detail::invmod(w, p);
-  detail::ntt_inplace(f, fa, w_inv, p);
-  const auto n_inv = f.inv(f.from_int(static_cast<std::int64_t>(n)));
-  for (auto& c : fa) c = f.mul(c, n_inv);
+  if constexpr (kp::field::kernels::FastField<F>) {
+    const auto& bar = kp::field::FieldKernels<F>::barrett(f);
+    for (std::size_t i = 0; i < n; ++i) fa[i] = bar.mul(fa[i], fb[i]);
+    kp::util::count_muls(n);
+    detail::ntt_inplace(f, fa, w_inv, p);
+    // One logical division for 1/n (the cached value skips the repeated
+    // extended Euclid), then the Shoup constant-multiplier scale.
+    const detail::ScaleInverse& si = detail::cached_scale_inverse(p, n);
+    kp::util::count_div();
+    for (auto& c : fa) {
+      c = kp::field::fastmod::shoup_mul(c, si.n_inv, si.n_inv_shoup, p);
+    }
+    kp::util::count_muls(n);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) fa[i] = f.mul(fa[i], fb[i]);
+    detail::ntt_inplace(f, fa, w_inv, p);
+    const auto n_inv = f.inv(f.from_int(static_cast<std::int64_t>(n)));
+    for (auto& c : fa) c = f.mul(c, n_inv);
+  }
   fa.resize(out_len);
   return fa;
 }
@@ -143,5 +309,12 @@ struct NttTraits<kp::field::Zp<P>>
 
 template <>
 struct NttTraits<kp::field::GFp> : detail::PrimeFieldNttTraits<kp::field::GFp> {};
+
+/// The frozen seed field keeps the generic butterfly path (its FieldKernels
+/// trait stays non-fast), giving the equivalence tests and bench_kernels an
+/// end-to-end reference transform.
+template <>
+struct NttTraits<kp::field::GFpReference>
+    : detail::PrimeFieldNttTraits<kp::field::GFpReference> {};
 
 }  // namespace kp::poly

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "field/concepts.h"
+#include "field/kernels.h"
 #include "poly/poly.h"
 
 namespace kp::seq {
@@ -44,6 +45,27 @@ std::vector<typename F::Element> charpoly_from_power_sums(
   // c_k in the paper's convention: char poly = x^n - c_1 x^{n-1} - ... - c_n.
   std::vector<E> c(n + 1, f.zero());  // c[1..n]
 
+  // The Leverrier divisors are the fixed integers 1..n, so word-sized prime
+  // fields invert them all with one batched Euclid (Montgomery's trick; the
+  // per-use logical division is still charged inside batch_inverse).
+  std::vector<E> int_inv;
+  if constexpr (kp::field::kernels::FastField<F>) {
+    int_inv.resize(n);
+    for (std::size_t k = 1; k <= n; ++k) {
+      int_inv[k - 1] = f.from_int(static_cast<std::int64_t>(k));
+    }
+    kp::field::kernels::batch_inverse(f, int_inv.data(), int_inv.size());
+  }
+  // div(a, k) with the same accounting as f.div: the division was charged by
+  // batch_inverse, the multiply is the div's own uncounted one.
+  auto div_by_int = [&](const E& a, std::size_t k) {
+    if constexpr (kp::field::kernels::FastField<F>) {
+      return kp::field::kernels::mul_uncounted(f, a, int_inv[k - 1]);
+    } else {
+      return f.div(a, f.from_int(static_cast<std::int64_t>(k)));
+    }
+  };
+
   if (method == NewtonIdentityMethod::kTriangularSolve) {
     // k c_k = s_k - sum_{i=1}^{k-1} c_i s_{k-i}.
     for (std::size_t k = 1; k <= n; ++k) {
@@ -51,14 +73,14 @@ std::vector<typename F::Element> charpoly_from_power_sums(
       for (std::size_t i = 1; i < k; ++i) {
         acc = f.sub(acc, f.mul(c[i], s[k - i - 1]));
       }
-      c[k] = f.div(acc, f.from_int(static_cast<std::int64_t>(k)));
+      c[k] = div_by_int(acc, k);
     }
   } else {
     // rev(charpoly) = prod (1 - lambda_j x) = exp(-sum_{i>=1} s_i x^i / i).
     kp::poly::PolyRing<F> ring(f);
     typename kp::poly::PolyRing<F>::Element h(n + 1, f.zero());
     for (std::size_t i = 1; i <= n; ++i) {
-      h[i] = f.neg(f.div(s[i - 1], f.from_int(static_cast<std::int64_t>(i))));
+      h[i] = f.neg(div_by_int(s[i - 1], i));
     }
     ring.strip(h);
     auto phat = kp::poly::series_exp(ring, h, n + 1);
