@@ -11,6 +11,8 @@
 #include "matrix/blackbox.h"
 #include "matrix/gauss.h"
 #include "matrix/sparse.h"
+#include "matrix/structured.h"
+#include "poly/ntt.h"
 #include "util/bench_json.h"
 #include "util/op_count.h"
 #include "util/prng.h"
@@ -35,11 +37,13 @@ int main() {
       auto b = sp.apply(f, x);
 
       kp::matrix::SparseBox<F> box(f, sp);
+      kp::poly::reset_transform_stats();
       kp::util::WallTimer wt;
       kp::util::OpScope s1;
       auto sol = kp::core::wiedemann_solve(f, box, b, prng, 1u << 30);
       const auto ops_w = s1.counts().total();
       const double wied_ms = wt.elapsed_ms();
+      const auto tstats = kp::poly::transform_stats();
 
       kp::util::OpScope s2;
       auto ref = kp::matrix::solve_gauss(f, dense, b);
@@ -58,6 +62,7 @@ int main() {
       report.put("ops_wiedemann", ops_w);
       report.put("ops_gauss", ops_g);
       report.put("wall_ms", wied_ms);
+      report.put("transforms_avoided", tstats.forward_avoided);
       report.put("check", ok);
     }
   }
@@ -81,6 +86,51 @@ int main() {
       for (std::size_t i = 0; i < n; ++i) ok = ok && gf.eq((*sol)[i], x[i]);
     }
     std::printf("  n=%zu over GF(256): %s\n", n, ok ? "ok" : "FAIL");
+  }
+
+  // Structured black box: Wiedemann over a Toeplitz operator, where every
+  // product reuses the matrix's cached symbol transform.  The avoided
+  // forward NTTs (one per product after the first) ride alongside wall-ms.
+  std::printf("\nToeplitz black box: cached-symbol transforms\n\n");
+  {
+    using G = kp::field::GFp;
+    G g(kp::field::kNttPrime);
+    kp::poly::PolyRing<G> ring(g);
+    kp::util::Table tb({"n", "wall ms", "fwd ntt", "fwd avoided", "check"});
+    for (std::size_t n : {64u, 128u, 256u}) {
+      kp::util::Prng p3(7000 + n);
+      kp::matrix::Toeplitz<G> tp = [&] {
+        for (;;) {
+          std::vector<G::Element> diag(2 * n - 1);
+          for (auto& v : diag) v = g.random(p3);
+          kp::matrix::Toeplitz<G> cand(n, std::move(diag));
+          if (!g.is_zero(kp::matrix::det_gauss(g, cand.to_dense(g)))) {
+            return cand;
+          }
+        }
+      }();
+      std::vector<G::Element> x(n), b;
+      for (auto& e : x) e = g.random(p3);
+      b = tp.apply(ring, x);
+      kp::matrix::ToeplitzBox<G> box(ring, tp);
+      kp::poly::reset_transform_stats();
+      kp::util::WallTimer wt;
+      auto sol = kp::core::wiedemann_solve(g, box, b, p3, 1u << 30);
+      const double ms = wt.elapsed_ms();
+      const auto tstats = kp::poly::transform_stats();
+      const bool ok = sol && *sol == x;
+      tb.add_row({std::to_string(n), kp::util::Table::num(ms, 2),
+                  kp::util::Table::num(tstats.forward),
+                  kp::util::Table::num(tstats.forward_avoided),
+                  ok ? "ok" : "FAIL"});
+      report.begin_row("wiedemann_toeplitz_cache");
+      report.put("n", n);
+      report.put("wall_ms", ms);
+      report.put("forward_ntt", tstats.forward);
+      report.put("transforms_avoided", tstats.forward_avoided);
+      report.put("check", ok);
+    }
+    tb.print();
   }
   return 0;
 }

@@ -41,17 +41,26 @@ struct Preconditioner {
 
   /// Dense A * H * D.  A*H is computed row-by-row with Hankel-vector
   /// products (H is symmetric), so forming A-tilde costs O(n^2 polylog n)
-  /// on top of the inputs rather than a full O(n^omega) product.
+  /// on top of the inputs rather than a full O(n^omega) product.  The n row
+  /// products share H's cached symbol transform and batch their varying-side
+  /// transforms over the pool (Hankel::apply_many).
   matrix::Matrix<F> apply_dense(const F& f, const kp::poly::PolyRing<F>& ring,
                                 const matrix::Matrix<F>& a) const {
     const std::size_t n = hankel.dim();
     matrix::Matrix<F> out(n, n, f.zero());
     const auto& d = diagonal.entries();
+    // row_i(A*H) = H * row_i(A) by symmetry of H.
+    std::vector<std::vector<typename F::Element>> rows(n);
+    std::vector<const std::vector<typename F::Element>*> ptrs(n);
     for (std::size_t i = 0; i < n; ++i) {
-      // row_i(A*H) = H * row_i(A) by symmetry of H.
-      std::vector<typename F::Element> row(a.row(i), a.row(i) + n);
-      auto hrow = hankel.apply(ring, row);
-      for (std::size_t j = 0; j < n; ++j) out.at(i, j) = f.mul(hrow[j], d[j]);
+      rows[i].assign(a.row(i), a.row(i) + n);
+      ptrs[i] = &rows[i];
+    }
+    auto hrows = hankel.apply_many(ring, ptrs);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        out.at(i, j) = f.mul(hrows[i][j], d[j]);
+      }
     }
     return out;
   }

@@ -14,6 +14,9 @@
 
 #include "matrix/dense.h"
 #include "matrix/matmul.h"
+#include "poly/poly.h"
+#include "poly/transform_cache.h"
+#include "pram/parallel_for.h"
 
 namespace kp::matrix {
 
@@ -31,6 +34,115 @@ std::vector<typename R::Element> matrix_poly_apply(
     }
   }
   return acc;
+}
+
+/// Multiplies two matrices of POLYNOMIALS entirely in the transform domain.
+///
+/// Every operand entry is forward-transformed once at one common padded
+/// size -- all (rows*m + m*cols) transforms batched over the pool with
+/// ntt_many -- each output entry C_ij = sum_k A_ik * B_kj is accumulated
+/// POINTWISE in the transform domain (the NTT is linear, so the inverse of
+/// the pointwise sum is exactly the coefficient-domain sum), and only
+/// rows*cols inverse transforms run.  Values are identical to
+/// mat_mul over PolyRing<R>; the operation count is genuinely smaller (an
+/// algorithmic change, unlike the op-neutral TransformedPoly caching):
+/// rm + mc + rc transforms instead of the 3rmc of entrywise products.
+/// Coefficient rings without a usable NTT (or too-small operands) fall back
+/// to mat_mul.  Works for base fields and, via Kronecker packing, for
+/// TruncSeriesRing coefficients.
+template <kp::field::CommutativeRing R>
+Matrix<kp::poly::PolyRing<R>> matpoly_mul(
+    const kp::poly::PolyRing<R>& ring, const Matrix<kp::poly::PolyRing<R>>& a,
+    const Matrix<kp::poly::PolyRing<R>>& b) {
+  using S = kp::poly::SplitMul<R>;
+  using PR = kp::poly::PolyRing<R>;
+  assert(a.cols() == b.rows());
+  if constexpr (!S::kSupported) {
+    return mat_mul(ring, a, b);
+  } else {
+    using F = typename S::Field;
+    using FE = typename F::Element;
+    const R& r = ring.base();
+    const F& f = S::base(r);
+    const std::size_t rows = a.rows(), m = a.cols(), cols = b.cols();
+
+    // Pack every entry and size the single shared transform.
+    std::vector<std::vector<FE>> pa(rows * m), pb(m * cols);
+    std::size_t max_a = 0, max_b = 0;
+    for (std::size_t i = 0; i < rows; ++i) {
+      for (std::size_t k = 0; k < m; ++k) {
+        pa[i * m + k] = S::pack(r, a.at(i, k));
+        max_a = std::max(max_a, pa[i * m + k].size());
+      }
+    }
+    for (std::size_t k = 0; k < m; ++k) {
+      for (std::size_t j = 0; j < cols; ++j) {
+        pb[k * cols + j] = S::pack(r, b.at(k, j));
+        max_b = std::max(max_b, pb[k * cols + j].size());
+      }
+    }
+    Matrix<PR> out(rows, cols, ring.zero());
+    if (max_a == 0 || max_b == 0) return out;  // a zero factor
+    const std::size_t out_len_packed = max_a + max_b - 1;
+    std::size_t n = 1;
+    while (n < out_len_packed) n <<= 1;
+    if (out_len_packed < 16 ||
+        !kp::poly::NttTraits<F>::available(f, out_len_packed)) {
+      return mat_mul(ring, a, b);
+    }
+    const std::uint64_t p = f.characteristic();
+    const std::uint64_t w = kp::poly::detail::root_of_unity(p, n);
+
+    // One batched forward pass over every operand entry.
+    std::vector<std::vector<FE>*> batch;
+    batch.reserve(pa.size() + pb.size());
+    for (auto& v : pa) {
+      v.resize(n, f.zero());
+      batch.push_back(&v);
+    }
+    for (auto& v : pb) {
+      v.resize(n, f.zero());
+      batch.push_back(&v);
+    }
+    kp::poly::ntt_many(f, batch, w, p);
+    kp::poly::detail::transform_counters().forward.fetch_add(
+        batch.size(), std::memory_order_relaxed);
+
+    // Accumulate + inverse-transform + unpack each output entry; entries
+    // are independent, so they form one pool region.
+    const std::uint64_t w_inv = kp::field::detail::invmod(w, p);
+    const auto compute = [&](std::size_t idx) {
+      const std::size_t i = idx / cols, j = idx % cols;
+      std::size_t out_len = 0;  // ring-level product length for unpacking
+      for (std::size_t k = 0; k < m; ++k) {
+        const std::size_t la = a.at(i, k).size(), lb = b.at(k, j).size();
+        if (la && lb) out_len = std::max(out_len, la + lb - 1);
+      }
+      if (out_len == 0) return;  // whole row-by-column is zero
+      std::vector<FE> acc(n, f.zero());
+      for (std::size_t k = 0; k < m; ++k) {
+        const auto& fa = pa[i * m + k];
+        const auto& fb = pb[k * cols + j];
+        for (std::size_t t = 0; t < n; ++t) {
+          acc[t] = f.add(acc[t], f.mul(fa[t], fb[t]));
+        }
+      }
+      kp::poly::detail::ntt_inplace(f, acc, w_inv, p);
+      const auto n_inv = f.inv(f.from_int(static_cast<std::int64_t>(n)));
+      for (auto& c : acc) c = f.mul(c, n_inv);
+      auto entry = S::unpack(r, std::move(acc), out_len);
+      ring.strip(entry);
+      out.at(i, j) = std::move(entry);
+    };
+    if (kp::field::concurrent_ops_v<F> && rows * cols > 1) {
+      kp::pram::parallel_for(0, rows * cols, compute);
+    } else {
+      for (std::size_t idx = 0; idx < rows * cols; ++idx) compute(idx);
+    }
+    kp::poly::detail::transform_counters().inverse.fetch_add(
+        rows * cols, std::memory_order_relaxed);
+    return out;
+  }
 }
 
 /// Paterson-Stockmeyer evaluation of p(A) using ~2*sqrt(deg) matrix

@@ -10,10 +10,13 @@
 
 #include <cassert>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "matrix/dense.h"
 #include "poly/poly.h"
+#include "poly/transform_cache.h"
 #include "util/prng.h"
 
 namespace kp::matrix {
@@ -35,6 +38,35 @@ class Toeplitz {
   Toeplitz(std::size_t n, std::vector<Element> diagonals)
       : n_(n), a_(std::move(diagonals)) {
     assert(a_.size() == 2 * n_ - 1);
+  }
+
+  // The cached symbol transforms are per-instance scratch, not state:
+  // copies start with cold caches and rebuild on first apply.
+  Toeplitz(const Toeplitz& o) : n_(o.n_), a_(o.a_) {}
+  Toeplitz& operator=(const Toeplitz& o) {
+    if (this != &o) {
+      n_ = o.n_;
+      a_ = o.a_;
+      std::lock_guard<std::mutex> lk(mu_);
+      symbol_.reset();
+      symbol_t_.reset();
+    }
+    return *this;
+  }
+  Toeplitz(Toeplitz&& o) noexcept : n_(o.n_), a_(std::move(o.a_)) {
+    std::lock_guard<std::mutex> lk(o.mu_);
+    symbol_ = std::move(o.symbol_);
+    symbol_t_ = std::move(o.symbol_t_);
+  }
+  Toeplitz& operator=(Toeplitz&& o) {
+    if (this != &o) {
+      n_ = o.n_;
+      a_ = std::move(o.a_);
+      std::scoped_lock lk(mu_, o.mu_);
+      symbol_ = std::move(o.symbol_);
+      symbol_t_ = std::move(o.symbol_t_);
+    }
+    return *this;
   }
 
   /// Builds the Toeplitz matrix of a sequence as in Lemma 1: the mu x mu
@@ -63,22 +95,70 @@ class Toeplitz {
   }
 
   /// T * x via one polynomial multiplication: y_i = (a * X)[n-1+i] where
-  /// X = sum_j x_j z^j.  Cost O(M(n)) instead of O(n^2).
+  /// X = sum_j x_j z^j.  Cost O(M(n)) instead of O(n^2).  The symbol a is
+  /// fixed for the lifetime of the matrix, so its forward transform is
+  /// cached (poly/transform_cache.h): repeated applies -- the 2n products
+  /// of a Krylov run, the Newton iteration's per-level pair -- pay one
+  /// forward NTT each instead of two.  Values and logical op counts are
+  /// identical to the uncached product.
   std::vector<Element> apply(const kp::poly::PolyRing<R>& ring,
                              const std::vector<Element>& x) const {
     assert(x.size() == n_);
-    const auto prod = ring.mul(strip_copy(ring, a_), strip_copy(ring, x));
-    std::vector<Element> y(n_, ring.base().zero());
-    for (std::size_t i = 0; i < n_; ++i) y[i] = ring.coeff(prod, n_ - 1 + i);
-    return y;
+    const auto prod = symbol(ring).mul(ring, strip_copy(ring, x));
+    return window(ring, prod);
   }
 
   /// x^T * T as a column vector, i.e. T^T x.  T^T is the Toeplitz matrix
-  /// with the reversed diagonal vector.
+  /// with the reversed diagonal vector; its symbol transform is cached
+  /// separately from the forward one.
   std::vector<Element> apply_transpose(const kp::poly::PolyRing<R>& ring,
                                        const std::vector<Element>& x) const {
-    std::vector<Element> rev(a_.rbegin(), a_.rend());
-    return Toeplitz(n_, std::move(rev)).apply(ring, x);
+    assert(x.size() == n_);
+    const auto prod = symbol_transpose(ring).mul(ring, strip_copy(ring, x));
+    return window(ring, prod);
+  }
+
+  /// Batched T * x_i for every x_i: one cached symbol spectrum, varying-side
+  /// forward transforms dispatched over the pool (TransformedPoly::mul_many).
+  /// Element- and op-count-identical to calling apply in a loop.
+  std::vector<std::vector<Element>> apply_many(
+      const kp::poly::PolyRing<R>& ring,
+      const std::vector<const std::vector<Element>*>& xs) const {
+    std::vector<typename kp::poly::PolyRing<R>::Element> stripped(xs.size());
+    std::vector<const typename kp::poly::PolyRing<R>::Element*> ptrs(xs.size());
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      assert(xs[i]->size() == n_);
+      stripped[i] = strip_copy(ring, *xs[i]);
+      ptrs[i] = &stripped[i];
+    }
+    auto prods = symbol(ring).mul_many(ring, ptrs);
+    std::vector<std::vector<Element>> out(xs.size());
+    for (std::size_t i = 0; i < xs.size(); ++i) out[i] = window(ring, prods[i]);
+    return out;
+  }
+
+  /// The cached transform of the (stripped) symbol polynomial; built on
+  /// first use, shared by every subsequent apply.
+  const kp::poly::TransformedPoly<R>& symbol(
+      const kp::poly::PolyRing<R>& ring) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!symbol_) {
+      symbol_ = std::make_unique<kp::poly::TransformedPoly<R>>(
+          ring, strip_copy(ring, a_));
+    }
+    return *symbol_;
+  }
+
+  const kp::poly::TransformedPoly<R>& symbol_transpose(
+      const kp::poly::PolyRing<R>& ring) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!symbol_t_) {
+      std::vector<Element> rev(a_.rbegin(), a_.rend());
+      auto p = std::move(rev);
+      ring.strip(p);
+      symbol_t_ = std::make_unique<kp::poly::TransformedPoly<R>>(ring, std::move(p));
+    }
+    return *symbol_t_;
   }
 
  private:
@@ -89,8 +169,20 @@ class Toeplitz {
     return out;
   }
 
+  /// Reads coefficients n-1 .. 2n-2 of the product polynomial.
+  std::vector<Element> window(
+      const kp::poly::PolyRing<R>& ring,
+      const typename kp::poly::PolyRing<R>::Element& prod) const {
+    std::vector<Element> y(n_, ring.base().zero());
+    for (std::size_t i = 0; i < n_; ++i) y[i] = ring.coeff(prod, n_ - 1 + i);
+    return y;
+  }
+
   std::size_t n_;
   std::vector<Element> a_;
+  mutable std::mutex mu_;
+  mutable std::unique_ptr<kp::poly::TransformedPoly<R>> symbol_;
+  mutable std::unique_ptr<kp::poly::TransformedPoly<R>> symbol_t_;
 };
 
 /// n x n Hankel matrix as in Theorem 2:
@@ -109,6 +201,31 @@ class Hankel {
   Hankel(std::size_t n, std::vector<Element> entries)
       : n_(n), h_(std::move(entries)) {
     assert(h_.size() == 2 * n_ - 1);
+  }
+
+  // Copies start with a cold symbol cache (see Toeplitz).
+  Hankel(const Hankel& o) : n_(o.n_), h_(o.h_) {}
+  Hankel& operator=(const Hankel& o) {
+    if (this != &o) {
+      n_ = o.n_;
+      h_ = o.h_;
+      std::lock_guard<std::mutex> lk(mu_);
+      symbol_.reset();
+    }
+    return *this;
+  }
+  Hankel(Hankel&& o) noexcept : n_(o.n_), h_(std::move(o.h_)) {
+    std::lock_guard<std::mutex> lk(o.mu_);
+    symbol_ = std::move(o.symbol_);
+  }
+  Hankel& operator=(Hankel&& o) {
+    if (this != &o) {
+      n_ = o.n_;
+      h_ = std::move(o.h_);
+      std::scoped_lock lk(mu_, o.mu_);
+      symbol_ = std::move(o.symbol_);
+    }
+    return *this;
   }
 
   /// Random Hankel preconditioner with entries from the sample set S.
@@ -138,19 +255,53 @@ class Hankel {
 
   /// H * x via one polynomial multiplication: with X = sum_j x_j z^{n-1-j},
   /// y_i = (h * X)[n-1+i].  Hankel matrices are symmetric, so this is also
-  /// the transposed product.
+  /// the transposed product.  The symbol h is fixed, so its forward
+  /// transform is cached across applies (the iterative Wiedemann route's
+  /// Hankel preconditioner sees 2n of them per run).
   std::vector<Element> apply(const kp::poly::PolyRing<R>& ring,
                              const std::vector<Element>& x) const {
     assert(x.size() == n_);
-    std::vector<Element> xrev(x.rbegin(), x.rend());
-    auto xp = xrev;
+    std::vector<Element> xp(x.rbegin(), x.rend());
     ring.strip(xp);
-    auto hp = h_;
-    ring.strip(hp);
-    const auto prod = ring.mul(hp, xp);
+    const auto prod = symbol(ring).mul(ring, xp);
     std::vector<Element> y(n_, ring.base().zero());
     for (std::size_t i = 0; i < n_; ++i) y[i] = ring.coeff(prod, n_ - 1 + i);
     return y;
+  }
+
+  /// Batched H * x_i (see Toeplitz::apply_many).
+  std::vector<std::vector<Element>> apply_many(
+      const kp::poly::PolyRing<R>& ring,
+      const std::vector<const std::vector<Element>*>& xs) const {
+    std::vector<typename kp::poly::PolyRing<R>::Element> rev(xs.size());
+    std::vector<const typename kp::poly::PolyRing<R>::Element*> ptrs(xs.size());
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      assert(xs[i]->size() == n_);
+      rev[i].assign(xs[i]->rbegin(), xs[i]->rend());
+      ring.strip(rev[i]);
+      ptrs[i] = &rev[i];
+    }
+    auto prods = symbol(ring).mul_many(ring, ptrs);
+    std::vector<std::vector<Element>> out(xs.size());
+    for (std::size_t k = 0; k < xs.size(); ++k) {
+      out[k].assign(n_, ring.base().zero());
+      for (std::size_t i = 0; i < n_; ++i) {
+        out[k][i] = ring.coeff(prods[k], n_ - 1 + i);
+      }
+    }
+    return out;
+  }
+
+  /// The cached transform of the (stripped) symbol polynomial.
+  const kp::poly::TransformedPoly<R>& symbol(
+      const kp::poly::PolyRing<R>& ring) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!symbol_) {
+      auto hp = h_;
+      ring.strip(hp);
+      symbol_ = std::make_unique<kp::poly::TransformedPoly<R>>(ring, std::move(hp));
+    }
+    return *symbol_;
   }
 
   /// The row-mirror J*H (J the reversal permutation), which is Toeplitz --
@@ -170,6 +321,8 @@ class Hankel {
  private:
   std::size_t n_;
   std::vector<Element> h_;
+  mutable std::mutex mu_;
+  mutable std::unique_ptr<kp::poly::TransformedPoly<R>> symbol_;
 };
 
 /// m x n Vandermonde matrix V(i, j) = x_i^j over pairwise-distinct points.

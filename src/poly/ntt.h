@@ -5,24 +5,42 @@
 // butterflies go through the field domain, so NTT work is measured in the
 // same unit cost model as everything else.
 //
-// Twiddle factors are cached per (modulus, root, transform size): the seed
-// rebuilt the n/2-entry power table with a mulmod chain on every call, which
-// dominated setup for the thousands of transforms a Newton-on-Toeplitz run
-// issues.  Each cached table also carries Shoup precomputed quotients in a
-// per-level streamed layout, so word-sized prime fields (FieldKernels,
-// field/kernels.h) run Harvey-style lazy butterflies -- three word multiplies
-// each, residues in [0, 4p), one normalization pass at the end, no 128-bit
-// division anywhere -- while producing exactly the canonical values and
-// charging exactly the logical op counts of the generic path.  Symbolic
-// domains (CircuitBuilderField) keep the generic path: cached INTEGER powers
-// injected with from_int, preserving the O(log n)-depth circuits.
+// Twiddle factors are cached per (modulus, root, transform size) in a
+// process-wide table shared by every thread: lookups walk an immutable
+// lock-free list (hits take no lock at all), and only a miss takes the mutex
+// to build and publish a new entry -- so pooled workers issuing their own
+// transforms stop duplicating both the setup work and the table memory the
+// per-thread caches of the previous revision paid.  Each cached table also
+// carries Shoup precomputed quotients in a per-level streamed layout, so
+// word-sized prime fields (FieldKernels, field/kernels.h) run Harvey-style
+// lazy butterflies -- three word multiplies each, residues in [0, 4p), one
+// normalization pass at the end, no 128-bit division anywhere -- while
+// producing exactly the canonical values and charging exactly the logical op
+// counts of the generic path.  Symbolic domains (CircuitBuilderField) keep
+// the generic path: cached INTEGER powers injected with from_int, preserving
+// the O(log n)-depth circuits.
+//
+// Two parallel axes sit on top (both bit-identical for every worker count):
+//   * ntt_many runs B independent transforms with whole transforms per
+//     pooled worker (op counts fold back to the submitter per the
+//     ExecutionContext contract);
+//   * single large fast-path transforms split each butterfly level into
+//     fixed-size chunks dispatched over the pool.  Butterflies within a
+//     level are data-independent, and the chunk boundaries depend only on
+//     the transform size, so the values never depend on the schedule.
+//
+// The transform is also exposed split into ntt_forward / ntt_pointwise_
+// finish so callers that multiply by a FIXED operand many times
+// (poly/transform_cache.h) can reuse its spectrum and skip one of the two
+// forward transforms per product.  transform_stats() counts forward and
+// inverse transforms executed and forwards avoided by such caches.
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cassert>
 #include <cstdint>
-#include <map>
-#include <unordered_map>
+#include <mutex>
 #include <vector>
 
 #include "field/kernels.h"
@@ -30,9 +48,55 @@
 #include "field/reference.h"
 #include "field/zp.h"
 #include "poly/poly_ring.h"
+#include "pram/parallel_for.h"
 #include "util/op_count.h"
 
 namespace kp::poly {
+
+/// Running totals of transform work (process-wide, all threads).  `forward`
+/// and `inverse` count transforms actually executed through the split API;
+/// `forward_avoided` counts forward transforms that a cached spectrum
+/// (poly/transform_cache.h) made unnecessary.  The counters are bench/
+/// diagnostic instrumentation only -- they are NOT part of the logical
+/// op-count contract, which charges cached transforms exactly as if they had
+/// been recomputed.
+struct TransformStats {
+  std::uint64_t forward = 0;
+  std::uint64_t inverse = 0;
+  std::uint64_t forward_avoided = 0;
+};
+
+namespace detail {
+
+struct TransformCounters {
+  std::atomic<std::uint64_t> forward{0};
+  std::atomic<std::uint64_t> inverse{0};
+  std::atomic<std::uint64_t> forward_avoided{0};
+};
+
+/// Shared (not thread-local): pooled workers run transforms on behalf of one
+/// logical computation, so their stats must land in one place.  Relaxed
+/// atomics -- the counters are read only between runs.
+inline TransformCounters& transform_counters() {
+  static TransformCounters c;
+  return c;
+}
+
+}  // namespace detail
+
+inline TransformStats transform_stats() {
+  auto& c = detail::transform_counters();
+  return {c.forward.load(std::memory_order_relaxed),
+          c.inverse.load(std::memory_order_relaxed),
+          c.forward_avoided.load(std::memory_order_relaxed)};
+}
+
+inline void reset_transform_stats() {
+  auto& c = detail::transform_counters();
+  c.forward.store(0, std::memory_order_relaxed);
+  c.inverse.store(0, std::memory_order_relaxed);
+  c.forward_avoided.store(0, std::memory_order_relaxed);
+}
 
 namespace detail {
 
@@ -47,14 +111,57 @@ inline int two_adicity(std::uint64_t p) {
   return k;
 }
 
+/// Append-only key/value table: lock-free on hit, mutex-guarded on miss.
+///
+/// Entries are immutable nodes prepended to an atomic head, so a reader
+/// walks the list with one acquire load and never blocks a writer; a miss
+/// takes the mutex, re-checks (another thread may have raced the build), and
+/// publishes with a release store.  Values are never moved or dropped until
+/// process exit, so returned references stay valid for the caller's
+/// lifetime.  Sized for the handful of (modulus, root, size) combinations a
+/// run touches, where a linear walk beats a locked map.
+template <class K, class V>
+class SharedCache {
+ public:
+  ~SharedCache() {
+    Node* cur = head_.load(std::memory_order_acquire);
+    while (cur != nullptr) {
+      Node* next = cur->next;
+      delete cur;
+      cur = next;
+    }
+  }
+
+  template <class Make>
+  const V& get_or_make(const K& key, Make&& make) {
+    for (const Node* cur = head_.load(std::memory_order_acquire);
+         cur != nullptr; cur = cur->next) {
+      if (cur->key == key) return cur->value;
+    }
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const Node* cur = head_.load(std::memory_order_relaxed);
+         cur != nullptr; cur = cur->next) {
+      if (cur->key == key) return cur->value;
+    }
+    Node* node = new Node{key, make(), head_.load(std::memory_order_relaxed)};
+    head_.store(node, std::memory_order_release);
+    return node->value;
+  }
+
+ private:
+  struct Node {
+    K key;
+    V value;
+    Node* next;
+  };
+  std::atomic<Node*> head_{nullptr};
+  std::mutex mu_;
+};
+
 /// Cached primitive root per modulus (root search factors p-1, so cache it).
 inline std::uint64_t cached_primitive_root(std::uint64_t p) {
-  thread_local std::unordered_map<std::uint64_t, std::uint64_t> cache;
-  auto it = cache.find(p);
-  if (it != cache.end()) return it->second;
-  const std::uint64_t g = kp::field::primitive_root(p);
-  cache.emplace(p, g);
-  return g;
+  static SharedCache<std::uint64_t, std::uint64_t> cache;
+  return cache.get_or_make(p, [p] { return kp::field::primitive_root(p); });
 }
 
 /// Twiddle powers w^k, k < n/2, for one (modulus, root, size) triple.
@@ -70,34 +177,32 @@ struct TwiddleTable {
   std::vector<std::uint64_t> level_shoup;
 };
 
-/// Per-thread table cache.  Thread-local like cached_primitive_root: no
-/// locks, and pooled workers that issue their own transforms build their own
-/// copies (tables are a few KB per size).
+/// Process-wide table cache, shared by all pooled workers (see header note).
 inline const TwiddleTable& cached_twiddles(std::uint64_t p, std::uint64_t w,
                                            std::size_t n) {
-  thread_local std::map<std::array<std::uint64_t, 3>, TwiddleTable> cache;
+  static SharedCache<std::array<std::uint64_t, 3>, TwiddleTable> cache;
   const std::array<std::uint64_t, 3> key{p, w, static_cast<std::uint64_t>(n)};
-  auto it = cache.find(key);
-  if (it != cache.end()) return it->second;
-  TwiddleTable t;
-  const std::size_t half = std::max<std::size_t>(n / 2, 1);
-  t.pow.reserve(half);
-  std::uint64_t acc = 1;
-  for (std::size_t k = 0; k < half; ++k) {
-    t.pow.push_back(acc);
-    acc = kp::field::detail::mulmod(acc, w, p);
-  }
-  t.level_pow.reserve(n ? n - 1 : 0);
-  t.level_shoup.reserve(n ? n - 1 : 0);
-  for (std::size_t len = 2; len <= n; len <<= 1) {
-    const std::size_t step = n / len;
-    for (std::size_t j = 0; j < len / 2; ++j) {
-      const std::uint64_t tw = t.pow[j * step];
-      t.level_pow.push_back(tw);
-      t.level_shoup.push_back(kp::field::fastmod::shoup_precompute(tw, p));
+  return cache.get_or_make(key, [&] {
+    TwiddleTable t;
+    const std::size_t half = std::max<std::size_t>(n / 2, 1);
+    t.pow.reserve(half);
+    std::uint64_t acc = 1;
+    for (std::size_t k = 0; k < half; ++k) {
+      t.pow.push_back(acc);
+      acc = kp::field::detail::mulmod(acc, w, p);
     }
-  }
-  return cache.emplace(key, std::move(t)).first->second;
+    t.level_pow.reserve(n ? n - 1 : 0);
+    t.level_shoup.reserve(n ? n - 1 : 0);
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+      const std::size_t step = n / len;
+      for (std::size_t j = 0; j < len / 2; ++j) {
+        const std::uint64_t tw = t.pow[j * step];
+        t.level_pow.push_back(tw);
+        t.level_shoup.push_back(kp::field::fastmod::shoup_precompute(tw, p));
+      }
+    }
+    return t;
+  });
 }
 
 /// Cached 1/n mod p and its Shoup quotient for the inverse-transform scale.
@@ -110,16 +215,19 @@ struct ScaleInverse {
 };
 
 inline const ScaleInverse& cached_scale_inverse(std::uint64_t p, std::size_t n) {
-  thread_local std::map<std::array<std::uint64_t, 2>, ScaleInverse> cache;
+  static SharedCache<std::array<std::uint64_t, 2>, ScaleInverse> cache;
   const std::array<std::uint64_t, 2> key{p, static_cast<std::uint64_t>(n)};
-  auto it = cache.find(key);
-  if (it != cache.end()) return it->second;
-  const std::uint64_t n_inv =
-      kp::field::detail::invmod(static_cast<std::uint64_t>(n % p), p);
-  return cache
-      .emplace(key, ScaleInverse{n_inv,
-                                 kp::field::fastmod::shoup_precompute(n_inv, p)})
-      .first->second;
+  return cache.get_or_make(key, [&] {
+    const std::uint64_t n_inv =
+        kp::field::detail::invmod(static_cast<std::uint64_t>(n % p), p);
+    return ScaleInverse{n_inv, kp::field::fastmod::shoup_precompute(n_inv, p)};
+  });
+}
+
+/// Primitive n-th root of unity mod p (n a power of two dividing p-1).
+inline std::uint64_t root_of_unity(std::uint64_t p, std::size_t n) {
+  const std::uint64_t g = cached_primitive_root(p);
+  return kp::field::detail::powmod(g, (p - 1) / n, p);
 }
 
 /// Bit-reversal permutation shared by both butterfly paths.
@@ -131,6 +239,31 @@ void bitrev_permute(std::vector<E>& a) {
     for (; j & bit; bit >>= 1) j ^= bit;
     j ^= bit;
     if (i < j) std::swap(a[i], a[j]);
+  }
+}
+
+/// Butterflies per pool task when a single fast-path transform is spread
+/// over workers.  One level of a size-n transform has n/2 data-independent
+/// butterflies; below 2 tasks' worth the dispatch overhead wins and the
+/// level runs inline.
+inline constexpr std::size_t kLevelParallelGrain = std::size_t{1} << 14;
+
+/// Runs body(b0, b1) over [0, total) split into kLevelParallelGrain-sized
+/// chunks on the pool.  The chunk boundaries depend only on `total`, never
+/// on the worker count, and the chunks write disjoint indices, so results
+/// are bit-identical for any schedule (the pool runs nested regions
+/// serially, so this is also safe from inside ntt_many workers).
+template <class Body>
+void dispatch_chunks(std::size_t total, const Body& body) {
+  if (total >= 2 * kLevelParallelGrain) {
+    const std::size_t tasks =
+        (total + kLevelParallelGrain - 1) / kLevelParallelGrain;
+    kp::pram::parallel_for(0, tasks, [&](std::size_t t) {
+      const std::size_t b0 = t * kLevelParallelGrain;
+      body(b0, std::min(total, b0 + kLevelParallelGrain));
+    });
+  } else {
+    body(0, total);
   }
 }
 
@@ -150,59 +283,84 @@ void ntt_inplace(const F& f, std::vector<typename F::Element>& a,
   if constexpr (kp::field::kernels::FastField<F>) {
     const std::uint64_t* tw = table.level_pow.data();
     const std::uint64_t* twq = table.level_shoup.data();
-    std::uint64_t* __restrict d = a.data();
+    std::uint64_t* const d = a.data();
     if (p < (1ULL << 62)) {
       // Harvey's lazy butterflies: residues ride in [0, 4p) (4p < 2^64),
       // the multiplicand correction happens inside shoup_mul_lazy's slack,
       // and one normalization pass restores canonical [0, p) -- ~4x fewer
-      // data-dependent corrections than the eager loop below.
+      // data-dependent corrections than the eager loop below.  Each level's
+      // butterflies are independent, so large levels are chunked over the
+      // pool; a flat butterfly index b maps to block b/half, lane b%half.
       const std::uint64_t p2 = 2 * p;
       for (std::size_t len = 2; len <= n; len <<= 1) {
         const std::size_t half = len / 2;
-        for (std::size_t i = 0; i < n; i += len) {
-          std::uint64_t* __restrict lo = d + i;
-          std::uint64_t* __restrict hi = d + i + half;
-          for (std::size_t j = 0; j < half; ++j) {
-            std::uint64_t u = lo[j];
-            if (u >= p2) u -= p2;
-            const std::uint64_t v =
-                kp::field::fastmod::shoup_mul_lazy(hi[j], tw[j], twq[j], p);
-            lo[j] = u + v;        // < 4p
-            hi[j] = u + p2 - v;   // < 4p
+        const std::uint64_t* const tw_l = tw;
+        const std::uint64_t* const twq_l = twq;
+        dispatch_chunks(n / 2, [=](std::size_t b0, std::size_t b1) {
+          std::size_t b = b0;
+          while (b < b1) {
+            const std::size_t block = b / half;
+            const std::size_t j0 = b - block * half;
+            const std::size_t j1 = std::min(half, j0 + (b1 - b));
+            std::uint64_t* __restrict lo = d + block * len;
+            std::uint64_t* __restrict hi = lo + half;
+            for (std::size_t j = j0; j < j1; ++j) {
+              std::uint64_t u = lo[j];
+              if (u >= p2) u -= p2;
+              const std::uint64_t v = kp::field::fastmod::shoup_mul_lazy(
+                  hi[j], tw_l[j], twq_l[j], p);
+              lo[j] = u + v;       // < 4p
+              hi[j] = u + p2 - v;  // < 4p
+            }
+            b += j1 - j0;
           }
-        }
+        });
         tw += half;
         twq += half;
       }
-      for (std::size_t i = 0; i < n; ++i) {
-        std::uint64_t x = d[i];
-        if (x >= p2) x -= p2;
-        if (x >= p) x -= p;
-        d[i] = x;
-      }
+      dispatch_chunks(n, [=](std::size_t i0, std::size_t i1) {
+        for (std::size_t i = i0; i < i1; ++i) {
+          std::uint64_t x = d[i];
+          if (x >= p2) x -= p2;
+          if (x >= p) x -= p;
+          d[i] = x;
+        }
+      });
     } else {
       // p in [2^62, 2^63): no headroom for lazy residues; eager canonical
-      // butterflies with the same streamed twiddle layout.
+      // butterflies with the same streamed twiddle layout and chunking.
       for (std::size_t len = 2; len <= n; len <<= 1) {
         const std::size_t half = len / 2;
-        for (std::size_t i = 0; i < n; i += len) {
-          for (std::size_t j = 0; j < half; ++j) {
-            const std::uint64_t u = d[i + j];
-            const std::uint64_t v = kp::field::fastmod::shoup_mul(
-                d[i + j + half], tw[j], twq[j], p);
-            std::uint64_t s = u + v;
-            if (s >= p) s -= p;
-            d[i + j] = s;
-            d[i + j + half] = u >= v ? u - v : u + p - v;
+        const std::uint64_t* const tw_l = tw;
+        const std::uint64_t* const twq_l = twq;
+        dispatch_chunks(n / 2, [=](std::size_t b0, std::size_t b1) {
+          std::size_t b = b0;
+          while (b < b1) {
+            const std::size_t block = b / half;
+            const std::size_t j0 = b - block * half;
+            const std::size_t j1 = std::min(half, j0 + (b1 - b));
+            std::uint64_t* __restrict lo = d + block * len;
+            std::uint64_t* __restrict hi = lo + half;
+            for (std::size_t j = j0; j < j1; ++j) {
+              const std::uint64_t u = lo[j];
+              const std::uint64_t v =
+                  kp::field::fastmod::shoup_mul(hi[j], tw_l[j], twq_l[j], p);
+              std::uint64_t s = u + v;
+              if (s >= p) s -= p;
+              lo[j] = s;
+              hi[j] = u >= v ? u - v : u + p - v;
+            }
+            b += j1 - j0;
           }
-        }
+        });
         tw += half;
         twq += half;
       }
     }
     if (n > 1) {
       // log2(n) levels of n/2 butterflies: 1 mul + 2 adds each, exactly as
-      // the generic path charges per butterfly.
+      // the generic path charges per butterfly.  Charged on the submitting
+      // thread regardless of how the levels were chunked.
       std::uint64_t levels = 0;
       for (std::size_t m = n; m > 1; m >>= 1) ++levels;
       kp::util::count_muls(levels * (n / 2));
@@ -232,6 +390,102 @@ void ntt_inplace(const F& f, std::vector<typename F::Element>& a,
 
 }  // namespace detail
 
+/// Runs B independent equal-size transforms, whole transforms per pooled
+/// worker.  Each entry must already be padded to the common power-of-two
+/// size for which `w_int` is a primitive root.  Safe for any domain:
+/// domains that record ops into shared state (kSequentialOnly) run the batch
+/// serially.  Workers' field-op counts fold back to the submitter per the
+/// ExecutionContext contract and every transform is independent of the
+/// others, so values and totals are bit-identical for 1..N workers.
+template <class F>
+void ntt_many(const F& f,
+              const std::vector<std::vector<typename F::Element>*>& batch,
+              std::uint64_t w_int, std::uint64_t p) {
+  if (batch.empty()) return;
+  const std::size_t n = batch.front()->size();
+  for ([[maybe_unused]] const auto* v : batch) {
+    assert(v != nullptr && v->size() == n && "ntt_many: mixed transform sizes");
+  }
+  // Build the shared tables once up front so workers only ever take the
+  // lock-free hit path.
+  detail::cached_twiddles(p, w_int, n);
+  if (kp::field::concurrent_ops_v<F> && batch.size() > 1) {
+    kp::pram::parallel_for(0, batch.size(), [&](std::size_t i) {
+      detail::ntt_inplace(f, *batch[i], w_int, p);
+    });
+  } else {
+    for (auto* v : batch) detail::ntt_inplace(f, *v, w_int, p);
+  }
+}
+
+/// Forward transform of one multiplication operand, padded to size n.  The
+/// split ntt_forward / ntt_pointwise_finish pair computes exactly what
+/// ntt_mul_prime_field computes (same values, same logical op counts), but
+/// lets a caller with a FIXED operand keep its spectrum across products
+/// (poly/transform_cache.h).
+template <class F>
+struct NttSpectrum {
+  std::size_t n = 0;    ///< padded transform size (power of two)
+  std::size_t len = 0;  ///< operand coefficient count before padding
+  std::vector<typename F::Element> data;  ///< forward NTT, size n
+};
+
+template <class F>
+NttSpectrum<F> ntt_forward(const F& f,
+                           const std::vector<typename F::Element>& a,
+                           std::size_t n) {
+  const std::uint64_t p = f.characteristic();
+  assert(n >= a.size() && (n & (n - 1)) == 0);
+  assert(p != 0 && (p - 1) % n == 0 &&
+         "field lacks a root of unity of required order");
+  NttSpectrum<F> s;
+  s.n = n;
+  s.len = a.size();
+  s.data = a;
+  s.data.resize(n, f.zero());
+  detail::ntt_inplace(f, s.data, detail::root_of_unity(p, n), p);
+  detail::transform_counters().forward.fetch_add(1, std::memory_order_relaxed);
+  return s;
+}
+
+/// Pointwise product of two spectra followed by the inverse transform and
+/// 1/n scale; returns the fa.len + fb.len - 1 product coefficients.
+/// Consumes fa's buffer.
+template <class F>
+std::vector<typename F::Element> ntt_pointwise_finish(const F& f,
+                                                      NttSpectrum<F>&& fa,
+                                                      const NttSpectrum<F>& fb) {
+  assert(fa.n == fb.n && fa.n > 0 && "ntt_pointwise_finish: size mismatch");
+  const std::size_t n = fa.n;
+  const std::size_t out_len = fa.len + fb.len - 1;
+  const std::uint64_t p = f.characteristic();
+  const std::uint64_t w_inv =
+      kp::field::detail::invmod(detail::root_of_unity(p, n), p);
+  std::vector<typename F::Element> c = std::move(fa.data);
+  if constexpr (kp::field::kernels::FastField<F>) {
+    const auto& bar = kp::field::FieldKernels<F>::barrett(f);
+    for (std::size_t i = 0; i < n; ++i) c[i] = bar.mul(c[i], fb.data[i]);
+    kp::util::count_muls(n);
+    detail::ntt_inplace(f, c, w_inv, p);
+    // One logical division for 1/n (the cached value skips the repeated
+    // extended Euclid), then the Shoup constant-multiplier scale.
+    const detail::ScaleInverse& si = detail::cached_scale_inverse(p, n);
+    kp::util::count_div();
+    for (auto& x : c) {
+      x = kp::field::fastmod::shoup_mul(x, si.n_inv, si.n_inv_shoup, p);
+    }
+    kp::util::count_muls(n);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) c[i] = f.mul(c[i], fb.data[i]);
+    detail::ntt_inplace(f, c, w_inv, p);
+    const auto n_inv = f.inv(f.from_int(static_cast<std::int64_t>(n)));
+    for (auto& x : c) x = f.mul(x, n_inv);
+  }
+  detail::transform_counters().inverse.fetch_add(1, std::memory_order_relaxed);
+  c.resize(out_len);
+  return c;
+}
+
 /// NTT-based multiplication over any domain whose characteristic() is a
 /// word-sized prime p with 2^ceil(log2(out_len)) | p - 1.  The roots of
 /// unity are computed as integers and injected with from_int, so this works
@@ -244,40 +498,9 @@ std::vector<typename F::Element> ntt_mul_prime_field(
   const std::size_t out_len = a.size() + b.size() - 1;
   std::size_t n = 1;
   while (n < out_len) n <<= 1;
-  const std::uint64_t p = f.characteristic();
-  assert(p != 0 && (p - 1) % n == 0 && "field lacks a root of unity of required order");
-
-  const std::uint64_t g = detail::cached_primitive_root(p);
-  const std::uint64_t w = kp::field::detail::powmod(g, (p - 1) / n, p);
-
-  std::vector<typename F::Element> fa(a);
-  std::vector<typename F::Element> fb(b);
-  fa.resize(n, f.zero());
-  fb.resize(n, f.zero());
-  detail::ntt_inplace(f, fa, w, p);
-  detail::ntt_inplace(f, fb, w, p);
-  const std::uint64_t w_inv = kp::field::detail::invmod(w, p);
-  if constexpr (kp::field::kernels::FastField<F>) {
-    const auto& bar = kp::field::FieldKernels<F>::barrett(f);
-    for (std::size_t i = 0; i < n; ++i) fa[i] = bar.mul(fa[i], fb[i]);
-    kp::util::count_muls(n);
-    detail::ntt_inplace(f, fa, w_inv, p);
-    // One logical division for 1/n (the cached value skips the repeated
-    // extended Euclid), then the Shoup constant-multiplier scale.
-    const detail::ScaleInverse& si = detail::cached_scale_inverse(p, n);
-    kp::util::count_div();
-    for (auto& c : fa) {
-      c = kp::field::fastmod::shoup_mul(c, si.n_inv, si.n_inv_shoup, p);
-    }
-    kp::util::count_muls(n);
-  } else {
-    for (std::size_t i = 0; i < n; ++i) fa[i] = f.mul(fa[i], fb[i]);
-    detail::ntt_inplace(f, fa, w_inv, p);
-    const auto n_inv = f.inv(f.from_int(static_cast<std::int64_t>(n)));
-    for (auto& c : fa) c = f.mul(c, n_inv);
-  }
-  fa.resize(out_len);
-  return fa;
+  NttSpectrum<F> fa = ntt_forward(f, a, n);
+  const NttSpectrum<F> fb = ntt_forward(f, b, n);
+  return ntt_pointwise_finish(f, std::move(fa), fb);
 }
 
 namespace detail {
@@ -285,6 +508,11 @@ namespace detail {
 template <class F>
 struct PrimeFieldNttTraits {
   static constexpr bool kSupported = true;
+  /// The transform runs directly over F itself (same-field ntt_forward /
+  /// ntt_pointwise_finish are valid).  Traits that route through ANOTHER
+  /// domain -- GFpk's integer-packed Z/qZ kernel, the circuit field -- leave
+  /// this flag unset, which keeps them off the split (cached) transform path.
+  static constexpr bool kDirect = true;
   static bool available(const F& f, std::size_t out_len) {
     std::size_t n = 1;
     int log_n = 0;

@@ -60,6 +60,8 @@ class PolyRing {
 
   const R& base() const { return base_; }
   void set_strategy(MulStrategy s) { strategy_ = s; }
+  MulStrategy strategy() const { return strategy_; }
+  std::size_t karatsuba_threshold() const { return karatsuba_threshold_; }
 
   // --- ring interface -------------------------------------------------------
 

@@ -15,6 +15,7 @@
 
 #include "field/concepts.h"
 #include "poly/poly_ring.h"
+#include "poly/transform_cache.h"
 
 namespace kp::poly {
 
@@ -45,10 +46,13 @@ typename PolyRing<F>::Element series_inverse(const PolyRing<F>& ring,
   typename PolyRing<F>::Element g{f.inv(a[0])};
   for (std::size_t k = 1; k < prec;) {
     k = std::min(2 * k, prec);
-    // g <- g*(2 - a*g) mod x^k
-    auto ag = ring.truncate(ring.mul(ring.truncate(a, k), g), k);
+    // g <- g*(2 - a*g) mod x^k.  g is the invariant factor of both products
+    // of this level, so its forward transform is cached across them (same
+    // values and logical op counts as two plain ring.mul calls).
+    const TransformedPoly<F> tg(ring, g);
+    auto ag = ring.truncate(tg.mul(ring, ring.truncate(a, k), false), k);
     auto two_minus = ring.sub(ring.from_int(2), ag);
-    g = ring.truncate(ring.mul(g, two_minus), k);
+    g = ring.truncate(tg.mul(ring, two_minus), k);
   }
   return g;
 }

@@ -18,6 +18,7 @@
 #include "poly/ntt.h"
 #include "poly/poly_ring.h"
 #include "poly/series.h"
+#include "poly/transform_cache.h"
 #include "util/prng.h"
 
 namespace kp::poly {
@@ -105,25 +106,28 @@ struct NttTraits<TruncSeriesRing<F>> {
     return NttTraits<F>::available(sr.base(), out_len * block(sr));
   }
 
-  static std::vector<typename SR::Element> mul(
-      const SR& sr, const std::vector<typename SR::Element>& a,
-      const std::vector<typename SR::Element>& b) {
+  /// Kronecker packing into one base-field vector (lambda-degree blocks of
+  /// width L); performs no counted field ops, so SplitMul may cache it.
+  static std::vector<typename F::Element> pack(
+      const SR& sr, const std::vector<typename SR::Element>& v) {
     const F& f = sr.base();
     const std::size_t L = block(sr);
-    auto pack = [&](const std::vector<typename SR::Element>& v) {
-      std::vector<typename F::Element> out(v.size() * L, f.zero());
-      for (std::size_t i = 0; i < v.size(); ++i) {
-        for (std::size_t k = 0; k < v[i].size(); ++k) out[i * L + k] = v[i][k];
-      }
-      while (!out.empty() && f.eq(out.back(), f.zero())) out.pop_back();
-      return out;
-    };
-    const auto pa = pack(a);
-    const auto pb = pack(b);
-    const std::size_t out_len = a.size() + b.size() - 1;
+    std::vector<typename F::Element> out(v.size() * L, f.zero());
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      for (std::size_t k = 0; k < v[i].size(); ++k) out[i * L + k] = v[i][k];
+    }
+    while (!out.empty() && f.eq(out.back(), f.zero())) out.pop_back();
+    return out;
+  }
+
+  /// Splits the univariate product back into out_len series of the ring
+  /// precision (product blocks never overflow L = 2*prec).
+  static std::vector<typename SR::Element> unpack(
+      const SR& sr, const std::vector<typename F::Element>& prod,
+      std::size_t out_len) {
+    const F& f = sr.base();
+    const std::size_t L = block(sr);
     std::vector<typename SR::Element> out(out_len);
-    if (pa.empty() || pb.empty()) return out;
-    const auto prod = NttTraits<F>::mul(f, pa, pb);
     for (std::size_t i = 0; i < out_len; ++i) {
       typename SR::Element chunk;
       const std::size_t base = i * L;
@@ -133,6 +137,43 @@ struct NttTraits<TruncSeriesRing<F>> {
       out[i] = std::move(chunk);
     }
     return out;
+  }
+
+  static std::vector<typename SR::Element> mul(
+      const SR& sr, const std::vector<typename SR::Element>& a,
+      const std::vector<typename SR::Element>& b) {
+    const auto pa = pack(sr, a);
+    const auto pb = pack(sr, b);
+    const std::size_t out_len = a.size() + b.size() - 1;
+    if (pa.empty() || pb.empty()) {
+      return std::vector<typename SR::Element>(out_len);
+    }
+    return unpack(sr, NttTraits<F>::mul(sr.base(), pa, pb), out_len);
+  }
+};
+
+/// Transform caching for polynomials of truncated series: the packed
+/// (Kronecker) form lives in the base field, so a fixed bivariate operand's
+/// spectrum is cached exactly like a univariate one.  Enabled under the same
+/// conditions the bivariate NTT is.
+template <kp::field::Field F>
+struct SplitMul<TruncSeriesRing<F>> {
+  using SR = TruncSeriesRing<F>;
+  using Field = F;
+  static constexpr bool kSupported =
+      ntt_direct_v<F> && kp::field::concurrent_ops_v<F>;
+  static const F& base(const SR& sr) { return sr.base(); }
+  static bool available(const SR& sr, std::size_t out_len) {
+    return NttTraits<SR>::available(sr, out_len);
+  }
+  static std::vector<typename F::Element> pack(
+      const SR& sr, const std::vector<typename SR::Element>& v) {
+    return NttTraits<SR>::pack(sr, v);
+  }
+  static std::vector<typename SR::Element> unpack(
+      const SR& sr, std::vector<typename F::Element>&& prod,
+      std::size_t out_len) {
+    return NttTraits<SR>::unpack(sr, prod, out_len);
   }
 };
 

@@ -19,6 +19,7 @@
 // total work in the paper's own units.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
@@ -55,17 +56,25 @@ class ExecutionContext {
 
   ~ExecutionContext() { shutdown(); }
 
-  /// Total threads ever spawned by this context; stays at most
-  /// worker_count() - 1 forever, which is how the tests pin down "pooled,
-  /// not per-call" behavior.
+  /// Total threads ever spawned by this context; stays at most one less
+  /// than the largest degree ever requested (worker_count() - 1 unless a
+  /// region or worker pin asked for more), which is how the tests pin down
+  /// "pooled, not per-call" behavior.
   std::uint64_t threads_started() const {
     return threads_started_.load(std::memory_order_relaxed);
   }
 
-  /// Caps the parallelism degree of subsequent regions (0 = hardware).
-  /// Used by tests to compare 1-worker and N-worker runs bit-for-bit.
+  /// Pins the parallelism degree of subsequent regions (0 = hardware).
+  /// A pin below worker_count() caps the degree; a pin above it is honored
+  /// too (the pool grows on demand, up to kMaxPoolThreads), so worker-count
+  /// sweeps in the benches measure real thread interleavings even on hosts
+  /// with few cores.  Used by tests to compare 1-worker and N-worker runs
+  /// bit-for-bit.
   void set_worker_limit(unsigned limit) { worker_limit_.store(limit); }
   unsigned worker_limit() const { return worker_limit_.load(); }
+
+  /// Hard ceiling on pool threads regardless of requested degree.
+  static constexpr unsigned kMaxPoolThreads = 32;
 
   /// Runs fn(i) for i in [begin, end), blocking until every iteration
   /// finished.  fn must not throw.  max_workers limits this region's
@@ -76,10 +85,13 @@ class ExecutionContext {
     const std::size_t count = end > begin ? end - begin : 0;
     if (count == 0) return;
     unsigned workers = max_workers == 0 ? worker_count() : max_workers;
-    if (const unsigned limit = worker_limit(); limit != 0 && workers > limit) {
-      workers = limit;
+    if (const unsigned limit = worker_limit(); limit != 0) {
+      // A pin overrides the default degree in both directions; an explicit
+      // per-region max_workers is still only ever capped by it.
+      workers = max_workers == 0 ? limit : std::min(workers, limit);
     }
     if (workers > count) workers = static_cast<unsigned>(count);
+    if (workers > kMaxPoolThreads + 1) workers = kMaxPoolThreads + 1;
     // Serial fast path: one worker, or a nested region (a pool thread or a
     // region-running submitter must never wait on the pool again).
     if (workers <= 1 || in_region()) {
@@ -97,7 +109,7 @@ class ExecutionContext {
     batch.blocks = (count + batch.chunk - 1) / batch.chunk;
 
     std::unique_lock<std::mutex> lk(m_);
-    ensure_started(lk);
+    ensure_started(lk, workers);
     // Serialize batches from concurrent submitters.
     submit_cv_.wait(lk, [&] { return batch_ == nullptr; });
     batch_ = &batch;
@@ -133,12 +145,14 @@ class ExecutionContext {
     return flag;
   }
 
-  void ensure_started(std::unique_lock<std::mutex>&) {
-    if (started_) return;
-    started_ = true;
-    const unsigned n = worker_count();
-    threads_.reserve(n > 1 ? n - 1 : 0);
-    for (unsigned i = 1; i < n; ++i) {
+  /// Grows the pool (lazily, on demand) until it can serve a region of
+  /// `workers` participants: the submitter plus workers-1 pool threads.
+  /// Never shrinks; repeat requests at or below the high-water mark spawn
+  /// nothing, preserving the pooled-not-per-call property.
+  void ensure_started(std::unique_lock<std::mutex>&, unsigned workers) {
+    const unsigned want =
+        std::min(workers > 0 ? workers - 1 : 0, kMaxPoolThreads);
+    while (threads_.size() < want) {
       threads_.emplace_back([this] { worker_loop(); });
       threads_started_.fetch_add(1, std::memory_order_relaxed);
     }
@@ -195,7 +209,6 @@ class ExecutionContext {
   std::vector<std::thread> threads_;
   Batch* batch_ = nullptr;
   std::uint64_t epoch_ = 0;
-  bool started_ = false;
   bool stop_ = false;
   std::atomic<unsigned> worker_limit_{0};
   std::atomic<std::uint64_t> threads_started_{0};

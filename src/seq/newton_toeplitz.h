@@ -67,11 +67,13 @@ ToeplitzSeriesInverse<F> toeplitz_series_inverse(const F& f,
   // O(log^2 n) circuit depth.
   kp::poly::PolyRing<F> fring(f);
   SE u1_inv{f.one()};
-  // Refines u1_inv to accuracy `target` against the current x[0].
+  // Refines u1_inv to accuracy `target` against the current x[0].  x0 is
+  // the fixed factor of both Newton steps, so its forward transform is
+  // cached across them (op counts charged as if recomputed).
   auto refine_u1_inv = [&](std::size_t target) {
-    const auto x0 = fring.truncate(x[0], target);
+    const kp::poly::TransformedPoly<F> x0(fring, fring.truncate(x[0], target));
     for (int step = 0; step < 2; ++step) {
-      auto prod = fring.truncate(fring.mul(x0, u1_inv), target);
+      auto prod = fring.truncate(x0.mul(fring, u1_inv), target);
       auto corr = fring.sub(fring.from_int(2), prod);
       u1_inv = fring.truncate(fring.mul(u1_inv, corr), target);
     }
@@ -104,18 +106,24 @@ ToeplitzSeriesInverse<F> toeplitz_series_inverse(const F& f,
     GohbergSemencul<SR> gs{x, y, u1_inv};
 
     // col_1(X_new) = 2x - X (B x);   col_n(X_new) = 2y - X (B y).
-    auto advance = [&](const std::vector<SE>& col) {
-      auto bcol = bt.apply(biv, col);
-      auto xbcol = gs.apply(biv, bcol);
+    // Both columns advance through the SAME fixed operators, so the round
+    // is batched: bt's symbol and the four Gohberg-Semencul generator
+    // transforms are each forward-transformed once and shared across the
+    // pair, and the varying-side transforms of the batch run in parallel.
+    const CachedGsApplier<SR> xinv(biv, gs);
+    auto bcols = bt.apply_many(biv, {&x, &y});
+    auto xbcols = xinv.apply_many(biv, {&bcols[0], &bcols[1]});
+    const SE two = sr.from_int(2);
+    auto combine = [&](const std::vector<SE>& col,
+                       const std::vector<SE>& xbcol) {
       std::vector<SE> out(n);
-      const SE two = sr.from_int(2);
       for (std::size_t i = 0; i < n; ++i) {
         out[i] = sr.sub(sr.mul(two, col[i]), xbcol[i]);
       }
       return out;
     };
-    auto nx = advance(x);
-    auto ny = advance(y);
+    auto nx = combine(x, xbcols[0]);
+    auto ny = combine(y, xbcols[1]);
     x = std::move(nx);
     y = std::move(ny);
   }

@@ -1,0 +1,463 @@
+// Property tests for the batched/cached transform layer (poly/ntt.h's
+// ntt_many + poly/transform_cache.h):
+//
+//   * ntt_many produces exactly the transforms of one-at-a-time ntt_inplace
+//     calls, with identical folded op counts, for any worker limit;
+//   * TransformedPoly::mul / mul_many are element-identical AND
+//     op-count-identical to plain ring.mul across moduli that take the fast
+//     lazy path, the eager path (p >= 2^62... here the Mersenne fallback),
+//     and an NTT-less prime (fallback multiplication) -- cache hits recharge
+//     the recorded transform cost, so a second identical product must count
+//     the same as the first;
+//   * the same holds through the Kronecker packing of TruncSeriesRing;
+//   * matpoly_mul is value-identical to mat_mul over the polynomial ring;
+//   * toeplitz_charpoly and kp_solve are bit-identical for 1, 2, and
+//     unlimited workers (the end-to-end determinism contract);
+//   * the shared twiddle cache survives concurrent first-touch from raw
+//     threads (the ThreadSanitizer CI job runs this file).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "core/solver.h"
+#include "field/zp.h"
+#include "matrix/blackbox.h"
+#include "matrix/matpoly.h"
+#include "matrix/structured.h"
+#include "poly/poly.h"
+#include "pram/parallel_for.h"
+#include "seq/newton_toeplitz.h"
+#include "util/op_count.h"
+#include "util/prng.h"
+
+namespace kp {
+namespace {
+
+using field::GFp;
+using field::GFpReference;
+using poly::PolyRing;
+using poly::TransformedPoly;
+
+std::vector<GFp::Element> random_poly(const GFp& f, std::size_t len,
+                                      util::Prng& prng) {
+  std::vector<GFp::Element> v(len);
+  for (auto& e : v) e = f.random(prng);
+  PolyRing<GFp>(f).strip(v);
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// ntt_many vs one-at-a-time transforms.
+
+TEST(NttManyTest, MatchesSingleTransformsAndOpCounts) {
+  GFp f(field::kNttPrime);
+  util::Prng prng(31);
+  const std::size_t n = 1 << 10;
+  const std::uint64_t p = f.characteristic();
+  const std::uint64_t w = poly::detail::root_of_unity(p, n);
+
+  std::vector<std::vector<GFp::Element>> ref(7);
+  for (auto& v : ref) {
+    v.resize(n);
+    for (auto& e : v) e = f.random(prng);
+  }
+  auto batch_data = ref;
+
+  util::OpScope serial_scope;
+  for (auto& v : ref) poly::detail::ntt_inplace(f, v, w, p);
+  const auto serial_ops = serial_scope.counts().total();
+
+  std::vector<std::vector<GFp::Element>*> ptrs;
+  for (auto& v : batch_data) ptrs.push_back(&v);
+  util::OpScope batch_scope;
+  poly::ntt_many(f, ptrs, w, p);
+  const auto batch_ops = batch_scope.counts().total();
+
+  EXPECT_EQ(batch_data, ref);
+  EXPECT_EQ(batch_ops, serial_ops);
+  EXPECT_GT(batch_ops, 0u);
+}
+
+TEST(NttManyTest, BitIdenticalAcrossWorkerLimits) {
+  GFp f(field::kNttPrime);
+  const std::size_t n = 1 << 12;  // above the level-parallel grain threshold
+  const std::uint64_t p = f.characteristic();
+  const std::uint64_t w = poly::detail::root_of_unity(p, n);
+  auto& ctx = pram::ExecutionContext::global();
+
+  auto run = [&](unsigned limit) {
+    ctx.set_worker_limit(limit);
+    util::Prng prng(77);
+    std::vector<std::vector<GFp::Element>> data(5);
+    for (auto& v : data) {
+      v.resize(n);
+      for (auto& e : v) e = f.random(prng);
+    }
+    std::vector<std::vector<GFp::Element>*> ptrs;
+    for (auto& v : data) ptrs.push_back(&v);
+    util::OpScope scope;
+    poly::ntt_many(f, ptrs, w, p);
+    ctx.set_worker_limit(0);
+    return std::make_pair(data, scope.counts().total());
+  };
+
+  const auto one = run(1);
+  const auto two = run(2);
+  const auto many = run(8);
+  EXPECT_EQ(one.first, two.first);
+  EXPECT_EQ(one.first, many.first);
+  EXPECT_EQ(one.second, two.second);
+  EXPECT_EQ(one.second, many.second);
+}
+
+// ---------------------------------------------------------------------------
+// TransformedPoly: values and op counts equal plain ring.mul, for moduli
+// exercising the lazy-fast path, the NTT-less fallback, and a small prime.
+
+class CachedMulIdentity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CachedMulIdentity, MulMatchesRingMulValuesAndOps) {
+  GFp f(GetParam());
+  PolyRing<GFp> ring(f);
+  util::Prng prng(5);
+
+  for (const std::size_t la : {0u, 3u, 33u, 200u}) {
+    for (const std::size_t lb : {0u, 7u, 64u, 129u}) {
+      const auto a = random_poly(f, la, prng);
+      const auto b = random_poly(f, lb, prng);
+      const TransformedPoly<GFp> ta(ring, a);
+
+      // Two rounds: round 2 hits the spectrum cache and must still charge
+      // identical logical ops (the recharge contract).
+      for (int round = 0; round < 2; ++round) {
+        util::OpScope plain_scope;
+        const auto want = ring.mul(a, b);
+        const auto plain_ops = plain_scope.counts();
+
+        util::OpScope cached_scope;
+        const auto got = ta.mul(ring, b);
+        const auto cached_ops = cached_scope.counts();
+
+        EXPECT_EQ(got, want) << "p=" << GetParam() << " la=" << la
+                             << " lb=" << lb << " round=" << round;
+        EXPECT_EQ(cached_ops.total(), plain_ops.total())
+            << "p=" << GetParam() << " la=" << la << " lb=" << lb
+            << " round=" << round;
+      }
+
+      // Operand-order-preserving form: ring.mul(b, a) on the fallback path.
+      util::OpScope plain_scope;
+      const auto want = ring.mul(b, a);
+      const auto plain_ops = plain_scope.counts();
+      util::OpScope cached_scope;
+      const auto got = ta.mul(ring, b, /*fixed_first=*/false);
+      const auto cached_ops = cached_scope.counts();
+      EXPECT_EQ(got, want);
+      EXPECT_EQ(cached_ops.total(), plain_ops.total());
+    }
+  }
+}
+
+TEST_P(CachedMulIdentity, MulManyMatchesIndividualProducts) {
+  GFp f(GetParam());
+  PolyRing<GFp> ring(f);
+  util::Prng prng(11);
+
+  const auto fixed = random_poly(f, 150, prng);
+  const TransformedPoly<GFp> tf(ring, fixed);
+
+  std::vector<std::vector<GFp::Element>> xs;
+  for (const std::size_t len : {0u, 1u, 17u, 100u, 150u, 301u}) {
+    xs.push_back(random_poly(f, len, prng));
+  }
+  std::vector<const std::vector<GFp::Element>*> ptrs;
+  for (const auto& x : xs) ptrs.push_back(&x);
+
+  util::OpScope plain_scope;
+  std::vector<std::vector<GFp::Element>> want;
+  for (const auto& x : xs) want.push_back(ring.mul(fixed, x));
+  const auto plain_ops = plain_scope.counts();
+
+  util::OpScope batch_scope;
+  const auto got = tf.mul_many(ring, ptrs);
+  const auto batch_ops = batch_scope.counts();
+
+  EXPECT_EQ(got, want) << "p=" << GetParam();
+  EXPECT_EQ(batch_ops.total(), plain_ops.total()) << "p=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Moduli, CachedMulIdentity,
+                         ::testing::Values(std::uint64_t{65537},
+                                           field::kP61,  // two-adicity 1: NTT
+                                                         // unavailable, pure
+                                                         // fallback path
+                                           field::kNttPrime));
+
+TEST(CachedMulIdentity, ReferenceFieldCountsMatchFastField) {
+  // The PR-2 contract extended to the cached layer: GFp (fast kernels) and
+  // GFpReference (generic butterflies) charge identical logical op counts
+  // through TransformedPoly, including on cache hits.
+  GFp fast(field::kNttPrime);
+  GFpReference ref(field::kNttPrime);
+  PolyRing<GFp> fring(fast);
+  PolyRing<GFpReference> rring(ref);
+  util::Prng prng(23);
+
+  const auto a = random_poly(fast, 120, prng);
+  const auto b = random_poly(fast, 95, prng);
+
+  const TransformedPoly<GFp> tfast(fring, a);
+  const TransformedPoly<GFpReference> tref(rring, a);
+  for (int round = 0; round < 2; ++round) {
+    util::OpScope fs;
+    const auto got_fast = tfast.mul(fring, b);
+    const auto fast_ops = fs.counts();
+    util::OpScope rs;
+    const auto got_ref = tref.mul(rring, b);
+    const auto ref_ops = rs.counts();
+    EXPECT_EQ(got_fast, got_ref) << "round=" << round;
+    EXPECT_EQ(fast_ops.total(), ref_ops.total()) << "round=" << round;
+  }
+}
+
+TEST(CachedMulIdentity, AvoidedForwardsShowOnlyInStats) {
+  GFp f(field::kNttPrime);
+  PolyRing<GFp> ring(f);
+  util::Prng prng(3);
+  const auto a = random_poly(f, 200, prng);
+  const auto b = random_poly(f, 180, prng);
+  const TransformedPoly<GFp> ta(ring, a);
+
+  poly::reset_transform_stats();
+  (void)ta.mul(ring, b);
+  const auto cold = poly::transform_stats();
+  (void)ta.mul(ring, b);
+  (void)ta.mul(ring, b);
+  const auto warm = poly::transform_stats();
+
+  EXPECT_EQ(cold.forward_avoided, 0u);
+  EXPECT_GE(warm.forward_avoided, 2u);  // fixed side served from cache twice
+  // Each product still transforms the varying side and runs one inverse.
+  EXPECT_EQ(warm.inverse, 3 * cold.inverse);
+}
+
+TEST(CachedMulIdentity, KillSwitchFallsBackToRingMul) {
+  GFp f(field::kNttPrime);
+  PolyRing<GFp> ring(f);
+  util::Prng prng(9);
+  const auto a = random_poly(f, 90, prng);
+  const auto b = random_poly(f, 70, prng);
+  const TransformedPoly<GFp> ta(ring, a);
+
+  poly::transform_cache_enabled().store(false);
+  poly::reset_transform_stats();
+  const auto got = ta.mul(ring, b);
+  const auto stats = poly::transform_stats();
+  poly::transform_cache_enabled().store(true);
+
+  EXPECT_EQ(got, ring.mul(a, b));
+  EXPECT_EQ(stats.forward_avoided, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Bivariate (truncated-series) cached multiplication.
+
+TEST(TruncSeriesCacheTest, CachedMulMatchesRingMulValuesAndOps) {
+  GFp f(field::kNttPrime);
+  using SR = poly::TruncSeriesRing<GFp>;
+  SR sr(f, 8);
+  PolyRing<SR> biv(sr);
+  util::Prng prng(17);
+
+  auto random_biv = [&](std::size_t len) {
+    std::vector<SR::Element> v(len);
+    for (auto& s : v) {
+      s.assign(8, f.zero());
+      for (auto& e : s) e = f.random(prng);
+    }
+    biv.strip(v);
+    return v;
+  };
+
+  const auto a = random_biv(40);
+  const auto b = random_biv(33);
+  const TransformedPoly<SR> ta(biv, a);
+
+  for (int round = 0; round < 2; ++round) {
+    util::OpScope plain_scope;
+    const auto want = biv.mul(a, b);
+    const auto plain_ops = plain_scope.counts();
+    util::OpScope cached_scope;
+    const auto got = ta.mul(biv, b);
+    const auto cached_ops = cached_scope.counts();
+    EXPECT_EQ(got, want) << "round=" << round;
+    EXPECT_EQ(cached_ops.total(), plain_ops.total()) << "round=" << round;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Batched matrix-of-polynomials product.
+
+TEST(MatpolyMulTest, MatchesMatMulOverPolyRing) {
+  GFp f(field::kNttPrime);
+  PolyRing<GFp> ring(f);
+  util::Prng prng(29);
+
+  matrix::Matrix<PolyRing<GFp>> a(3, 4, ring.zero()), b(4, 2, ring.zero());
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t k = 0; k < 4; ++k) {
+      a.at(i, k) = random_poly(f, 5 + 13 * ((i + k) % 4), prng);
+    }
+  }
+  for (std::size_t k = 0; k < 4; ++k) {
+    for (std::size_t j = 0; j < 2; ++j) {
+      b.at(k, j) = random_poly(f, 3 + 17 * ((k + j) % 3), prng);
+    }
+  }
+  b.at(1, 0).clear();  // a zero entry must not perturb the accumulation
+
+  const auto want = matrix::mat_mul(ring, a, b);
+  const auto got = matrix::matpoly_mul(ring, a, b);
+  ASSERT_EQ(got.rows(), want.rows());
+  ASSERT_EQ(got.cols(), want.cols());
+  for (std::size_t i = 0; i < got.rows(); ++i) {
+    for (std::size_t j = 0; j < got.cols(); ++j) {
+      EXPECT_EQ(got.at(i, j), want.at(i, j)) << i << "," << j;
+    }
+  }
+}
+
+TEST(MatpolyMulTest, FallbackPathsMatchToo) {
+  // Mersenne prime: no NTT of usable order, so matpoly_mul must detect this
+  // and produce mat_mul's result through the fallback.
+  GFp f(field::kP61);
+  PolyRing<GFp> ring(f);
+  util::Prng prng(37);
+  matrix::Matrix<PolyRing<GFp>> a(2, 3, ring.zero()), b(3, 2, ring.zero());
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t k = 0; k < 3; ++k) a.at(i, k) = random_poly(f, 20, prng);
+  }
+  for (std::size_t k = 0; k < 3; ++k) {
+    for (std::size_t j = 0; j < 2; ++j) b.at(k, j) = random_poly(f, 15, prng);
+  }
+  const auto want = matrix::mat_mul(ring, a, b);
+  const auto got = matrix::matpoly_mul(ring, a, b);
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 2; ++j) EXPECT_EQ(got.at(i, j), want.at(i, j));
+  }
+}
+
+TEST(MatpolyMulTest, BitIdenticalAcrossWorkerLimits) {
+  GFp f(field::kNttPrime);
+  PolyRing<GFp> ring(f);
+  auto& ctx = pram::ExecutionContext::global();
+  auto run = [&](unsigned limit) {
+    ctx.set_worker_limit(limit);
+    util::Prng prng(41);
+    matrix::Matrix<PolyRing<GFp>> a(3, 3, ring.zero()), b(3, 3, ring.zero());
+    for (std::size_t i = 0; i < 3; ++i) {
+      for (std::size_t k = 0; k < 3; ++k) {
+        a.at(i, k) = random_poly(f, 64, prng);
+        b.at(i, k) = random_poly(f, 48, prng);
+      }
+    }
+    auto out = matrix::matpoly_mul(ring, a, b);
+    ctx.set_worker_limit(0);
+    return out.data();
+  };
+  const auto one = run(1);
+  EXPECT_EQ(one, run(2));
+  EXPECT_EQ(one, run(8));
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end determinism: charpoly and solver across worker limits.
+
+TEST(EndToEndDeterminism, ToeplitzCharpolyBitIdenticalAcrossWorkers) {
+  GFp f(field::kNttPrime);
+  auto& ctx = pram::ExecutionContext::global();
+  auto run = [&](unsigned limit) {
+    ctx.set_worker_limit(limit);
+    util::Prng prng(51);
+    std::vector<GFp::Element> diag(2 * 32 - 1);
+    for (auto& e : diag) e = f.random(prng);
+    matrix::Toeplitz<GFp> t(32, std::move(diag));
+    util::OpScope scope;
+    auto cp = seq::toeplitz_charpoly(f, t);
+    ctx.set_worker_limit(0);
+    return std::make_pair(cp, scope.counts().total());
+  };
+  const auto one = run(1);
+  const auto two = run(2);
+  const auto many = run(8);
+  EXPECT_EQ(one.first, two.first);
+  EXPECT_EQ(one.first, many.first);
+  EXPECT_EQ(one.second, two.second);
+  EXPECT_EQ(one.second, many.second);
+}
+
+TEST(EndToEndDeterminism, SolverBitIdenticalAcrossWorkers) {
+  GFp f(field::kNttPrime);
+  PolyRing<GFp> ring(f);
+  auto& ctx = pram::ExecutionContext::global();
+
+  util::Prng setup(61);
+  const std::size_t n = 16;
+  matrix::Toeplitz<GFp> t = [&] {
+    for (;;) {
+      std::vector<GFp::Element> diag(2 * n - 1);
+      for (auto& e : diag) e = f.random(setup);
+      matrix::Toeplitz<GFp> cand(n, std::move(diag));
+      if (!f.is_zero(matrix::det_gauss(f, cand.to_dense(f)))) return cand;
+    }
+  }();
+  std::vector<GFp::Element> b(n);
+  for (auto& e : b) e = f.random(setup);
+
+  auto run = [&](unsigned limit) {
+    ctx.set_worker_limit(limit);
+    util::Prng prng(4711);
+    matrix::ToeplitzBox<GFp> box(ring, t);
+    auto res = core::kp_solve(f, box, b, prng);
+    ctx.set_worker_limit(0);
+    EXPECT_TRUE(res.ok);
+    return std::make_tuple(res.x, res.det, res.charpoly_at);
+  };
+  const auto one = run(1);
+  EXPECT_EQ(one, run(2));
+  EXPECT_EQ(one, run(8));
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent first-touch of the shared twiddle cache (raw threads, several
+// sizes and two moduli at once; the TSan CI job watches this).
+
+TEST(SharedTwiddleCacheTest, ConcurrentFirstTouchIsSafeAndCorrect) {
+  const std::uint64_t primes[] = {field::kNttPrime, 65537};
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int rep = 0; rep < 4; ++rep) {
+    for (const std::uint64_t p : primes) {
+      for (const std::size_t n : {1u << 4, 1u << 7, 1u << 9}) {
+        threads.emplace_back([p, n, rep, &failures] {
+          GFp f(p);
+          util::Prng prng(static_cast<std::uint64_t>(n) + rep);
+          std::vector<GFp::Element> a(n / 2), b(n / 2);
+          for (auto& e : a) e = f.random(prng);
+          for (auto& e : b) e = f.random(prng);
+          PolyRing<GFp> ring(f, poly::MulStrategy::kNtt);
+          const auto fast = ring.mul(a, b);
+          PolyRing<GFp> slow_ring(f, poly::MulStrategy::kSchoolbook);
+          if (fast != slow_ring.mul(a, b)) failures.fetch_add(1);
+        });
+      }
+    }
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace kp
