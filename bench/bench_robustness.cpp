@@ -1,0 +1,250 @@
+// Robustness-layer benchmark: what the Las Vegas hardening costs when
+// nothing goes wrong, and what a recovery costs when something does.
+//
+//   B1  Fault-free overhead of the taxonomy/diagnostics/fault machinery on
+//       the n = 512 solver sweep: the default configuration (Diag records
+//       on, fault registry compiled in) and the worst case (a fault armed
+//       that never matches) against the lean configuration
+//       (collect_diag = false, registry empty).  Acceptance: < 2%.
+//   B2  Attempt-count and wall-clock overhead distribution of the
+//       stage-targeted retries: one injected failure per stage, recovery
+//       cost relative to the fault-free run.
+//
+// Exits non-zero on any wrong result (a returned x that is not the known
+// solution, an unexpected attempt count), so CI can run it as a smoke
+// test; timing is reported, never gated.  Emits BENCH_robustness.json.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/solver.h"
+#include "field/zp.h"
+#include "matrix/blackbox.h"
+#include "matrix/dense.h"
+#include "matrix/sparse.h"
+#include "util/bench_json.h"
+#include "util/fault.h"
+#include "util/prng.h"
+#include "util/status.h"
+#include "util/tables.h"
+
+namespace {
+
+using F = kp::field::Zp<kp::field::kNttPrime>;
+using kp::util::Stage;
+
+F f;
+int failures = 0;
+
+void check(bool ok, const char* what) {
+  if (!ok) {
+    std::printf("MISMATCH: %s\n", what);
+    ++failures;
+  }
+}
+
+template <class Fn>
+double time_ms(Fn&& fn, int reps = 5) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    kp::util::WallTimer t;
+    fn();
+    const double ms = t.elapsed_ms();
+    if (ms < best) best = ms;
+  }
+  return best;
+}
+
+/// Sparse upper-triangular operator with a non-zero diagonal: non-singular
+/// by construction, O(n) entries, so the iterative route's 2n products make
+/// the n = 512 sweep cheap enough to repeat.
+kp::matrix::Sparse<F> triangular_sparse(std::size_t n, kp::util::Prng& prng) {
+  std::vector<kp::matrix::Sparse<F>::Entry> entries;
+  entries.reserve(3 * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto d = f.random(prng);
+    while (f.is_zero(d)) d = f.random(prng);
+    entries.push_back({i, i, d});
+    if (i + 1 < n) entries.push_back({i, i + 1, f.random(prng)});
+    if (i + 7 < n) entries.push_back({i, i + 7, f.random(prng)});
+  }
+  return kp::matrix::Sparse<F>(f, n, n, std::move(entries));
+}
+
+kp::matrix::Matrix<F> nonsingular_dense(std::size_t n, kp::util::Prng& prng) {
+  for (;;) {
+    auto a = kp::matrix::random_matrix(f, n, n, prng);
+    if (!f.is_zero(kp::matrix::det_gauss(f, a))) return a;
+  }
+}
+
+}  // namespace
+
+int main() {
+  kp::util::BenchReport report("robustness");
+
+  // -------------------------------------------------------------------
+  // B1: fault-free overhead on the solver sweep.
+  // -------------------------------------------------------------------
+  std::printf("B1: fault-free overhead of the robustness layer\n\n");
+  kp::util::Table t1({"route", "n", "variant", "wall ms", "overhead %"});
+
+  struct Sweep {
+    const char* route;
+    std::size_t n;
+  };
+  const Sweep sweeps[] = {{"iterative", 512}, {"doubling", 128}};
+  for (const auto& sw : sweeps) {
+    kp::util::Prng setup(1000 + sw.n);
+    const bool sparse = std::string(sw.route) == "iterative";
+    kp::matrix::Sparse<F> sp =
+        sparse ? triangular_sparse(sw.n, setup)
+               : kp::matrix::Sparse<F>(f, 1, 1, {{0, 0, f.one()}});
+    kp::matrix::Matrix<F> dn = sparse ? kp::matrix::Matrix<F>(1, 1, f.one())
+                                      : nonsingular_dense(sw.n, setup);
+    std::vector<F::Element> x_true(sw.n);
+    for (auto& e : x_true) e = f.random(setup);
+    const std::vector<F::Element> b =
+        sparse ? sp.apply(f, x_true) : kp::matrix::mat_vec(f, dn, x_true);
+    const kp::matrix::SparseBox<F> box(f, sp);
+
+    auto solve_once = [&](const kp::core::SolverOptions& opt) {
+      kp::util::Prng prng(42);
+      auto res = sparse ? kp::core::kp_solve(f, box, b, prng, opt)
+                        : kp::core::kp_solve(f, dn, b, prng, opt);
+      check(res.ok, "fault-free sweep solve failed");
+      check(res.x == x_true, "fault-free sweep returned a wrong x");
+      check(res.attempts == 1, "fault-free sweep needed a retry");
+    };
+
+    kp::core::SolverOptions lean;
+    lean.collect_diag = false;
+    kp::core::SolverOptions full;  // defaults: diagnostics on
+
+    // One untimed warmup (pool spin-up, caches), then interleaved
+    // best-of rounds so slow drift cancels instead of biasing whichever
+    // variant runs first.
+    solve_once(lean);
+    double ms_lean = 1e300, ms_full = 1e300, ms_armed = 1e300;
+    const int rounds = 5;
+    for (int r = 0; r < rounds; ++r) {
+      ms_lean = std::min(ms_lean, time_ms([&] { solve_once(lean); }, 1));
+      ms_full = std::min(ms_full, time_ms([&] { solve_once(full); }, 1));
+#if KP_FAULT_INJECTION_ENABLED
+      // Worst case: a fault is armed, so every site takes the registry
+      // lookup, but the attempt filter never matches.
+      kp::util::fault::ScopedFault armed(Stage::kProjection,
+                                         /*attempt=*/1 << 20,
+                                         /*site_index=*/-1,
+                                         /*one_shot=*/false);
+      ms_armed = std::min(ms_armed, time_ms([&] { solve_once(full); }, 1));
+      check(armed.fired() == 0, "armed-but-unmatching fault fired");
+#else
+      ms_armed = 0;
+#endif
+    }
+
+    auto add = [&](const char* variant, double ms) {
+      if (ms == 0) return;  // harness compiled out
+      const double pct = 100.0 * (ms - ms_lean) / ms_lean;
+      t1.add_row({sw.route, std::to_string(sw.n), variant,
+                  kp::util::Table::num(ms, 3), kp::util::Table::num(pct, 2)});
+      report.begin_row("B1_overhead");
+      report.put("route", sw.route);
+      report.put("n", std::uint64_t{sw.n});
+      report.put("variant", variant);
+      report.put("wall_ms", ms);
+      report.put("overhead_pct", pct);
+    };
+    add("lean", ms_lean);
+    add("diag", ms_full);
+    add("diag+armed", ms_armed);
+  }
+  t1.print();
+
+  // -------------------------------------------------------------------
+  // B2: recovery cost per injected failure stage.
+  // -------------------------------------------------------------------
+#if KP_FAULT_INJECTION_ENABLED
+  std::printf("\nB2: attempt counts and recovery cost under injected faults\n\n");
+  kp::util::Table t2({"stage", "attempts", "redrew", "wall ms", "vs clean %"});
+
+  const std::size_t n = 96;
+  kp::util::Prng setup(7);
+  const auto a = nonsingular_dense(n, setup);
+  std::vector<F::Element> x_true(n);
+  for (auto& e : x_true) e = f.random(setup);
+  const auto b = kp::matrix::mat_vec(f, a, x_true);
+
+  const double ms_clean = time_ms([&] {
+    kp::util::Prng prng(42);
+    auto res = kp::core::kp_solve(f, a, b, prng);
+    check(res.ok && res.x == x_true, "clean reference solve failed");
+  });
+
+  const Stage stages[] = {Stage::kDraw,          Stage::kPrecondition,
+                          Stage::kProjection,    Stage::kNewtonToeplitz,
+                          Stage::kCharpoly,      Stage::kSolveFinish,
+                          Stage::kVerify};
+  for (const Stage stage : stages) {
+    int attempts = 0;
+    std::string redrew;
+    const double ms = time_ms([&] {
+      kp::util::fault::ScopedFault fi(stage, /*attempt=*/1);
+      kp::util::Prng prng(42);
+      auto res = kp::core::kp_solve(f, a, b, prng);
+      check(res.ok, "recovery failed");
+      check(res.x == x_true, "recovery returned a wrong x");
+      check(res.attempts == 2, "recovery needed more than one retry");
+      attempts = res.attempts;
+      const auto& d = res.diags.back();
+      redrew = d.redrew_precondition && d.redrew_projection ? "both"
+               : d.redrew_precondition                      ? "H,D"
+                                                            : "u,v";
+    });
+    const double pct = 100.0 * (ms - ms_clean) / ms_clean;
+    t2.add_row({kp::util::to_string(stage), std::to_string(attempts), redrew,
+                kp::util::Table::num(ms, 3), kp::util::Table::num(pct, 2)});
+    report.begin_row("B2_recovery");
+    report.put("stage", kp::util::to_string(stage));
+    report.put("attempts", attempts);
+    report.put("redrew", redrew);
+    report.put("wall_ms", ms);
+    report.put("vs_clean_pct", pct);
+  }
+
+  // Degradation path: a persistent fault with a tight op budget must settle
+  // through the dense baseline, never loop.
+  {
+    kp::util::fault::ScopedFault fi(Stage::kProjection, /*attempt=*/-1,
+                                    /*site_index=*/-1, /*one_shot=*/false);
+    kp::core::SolverOptions opt;
+    opt.op_budget_per_attempt = 1;
+    const double ms = time_ms([&] {
+      kp::util::Prng prng(42);
+      auto res = kp::core::kp_solve(f, a, b, prng, opt);
+      check(res.ok && res.used_fallback, "op-budget degrade did not fall back");
+      check(res.x == x_true, "degraded route returned a wrong x");
+    });
+    const double pct = 100.0 * (ms - ms_clean) / ms_clean;
+    t2.add_row({"(op budget -> dense)", "1", "-", kp::util::Table::num(ms, 3),
+                kp::util::Table::num(pct, 2)});
+    report.begin_row("B2_degrade");
+    report.put("wall_ms", ms);
+    report.put("vs_clean_pct", pct);
+  }
+  t2.print();
+#else
+  std::printf("\nB2 skipped: fault injection compiled out\n");
+#endif
+
+  report.write();
+  if (failures) {
+    std::printf("\n%d mismatches\n", failures);
+    return 1;
+  }
+  std::printf("\nall checks passed\n");
+  return 0;
+}

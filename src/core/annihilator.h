@@ -8,22 +8,42 @@
 //     0 = g(A) b  =>  A^{-1} b = -(1/g_0) (g_1 b + g_2 A b + ... + A^{d-1} b).
 #pragma once
 
-#include <cassert>
 #include <vector>
 
 #include "field/concepts.h"
 #include "matrix/blackbox.h"
 #include "matrix/dense.h"
+#include "util/status.h"
 
 namespace kp::core {
 
+/// Precondition of the Cayley-Hamilton finish: the annihilator must be
+/// non-trivial with a non-zero constant term (else A is not invertible
+/// through g).  Public entry points call this instead of asserting, so
+/// malformed inputs are rejected in every build type.
+template <kp::field::Field F>
+util::Status validate_annihilator(const F& f,
+                                  const std::vector<typename F::Element>& g) {
+  if (g.size() < 2) {
+    return util::Status::Fail(util::FailureKind::kInvalidArgument,
+                              util::Stage::kSolveFinish,
+                              "annihilator must have degree >= 1");
+  }
+  if (f.eq(g[0], f.zero())) {
+    return util::Status::Fail(util::FailureKind::kZeroConstantTerm,
+                              util::Stage::kSolveFinish,
+                              "annihilator constant term is zero");
+  }
+  return util::Status::Ok();
+}
+
 /// Coefficients q of the solution combination: x = sum_j q_j A^j b, derived
 /// from a monic annihilator g with g_0 != 0; q_j = -g_{j+1} / g_0.
+/// Returns an empty vector when g fails validate_annihilator.
 template <kp::field::Field F>
 std::vector<typename F::Element> solution_combination(
     const F& f, const std::vector<typename F::Element>& g) {
-  assert(g.size() >= 2 && !f.eq(g[0], f.zero()) &&
-         "annihilator must have a nonzero constant term");
+  if (!validate_annihilator(f, g).ok()) return {};
   const auto scale = f.neg(f.inv(g[0]));
   std::vector<typename F::Element> q(g.size() - 1, f.zero());
   for (std::size_t j = 0; j + 1 < g.size(); ++j) {
@@ -33,11 +53,13 @@ std::vector<typename F::Element> solution_combination(
 }
 
 /// Black-box solve from an annihilator: d-1 products with the box.
+/// Returns an empty vector when g fails validate_annihilator.
 template <kp::field::Field F, matrix::LinOp B>
 std::vector<typename F::Element> solve_from_annihilator(
     const F& f, const B& box, const std::vector<typename F::Element>& g,
     const std::vector<typename F::Element>& b) {
   const auto q = solution_combination(f, g);
+  if (q.empty()) return {};
   std::vector<typename F::Element> w = b;
   std::vector<typename F::Element> x(b.size(), f.zero());
   for (std::size_t j = 0; j < q.size(); ++j) {

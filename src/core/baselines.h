@@ -17,7 +17,6 @@
 // the Theorem-3/4 pipeline.
 #pragma once
 
-#include <cassert>
 #include <vector>
 
 #include "field/concepts.h"
@@ -25,8 +24,18 @@
 #include "matrix/matmul.h"
 #include "poly/poly.h"
 #include "seq/newton_identities.h"
+#include "util/status.h"
 
 namespace kp::core {
+
+/// Shared precondition of the charpoly baselines: a square input.  The entry
+/// points return an empty polynomial on violation (release builds included);
+/// callers that want the reason call this directly.
+template <class R>
+util::Status validate_charpoly_input(const R&, const matrix::Matrix<R>& a) {
+  return util::Require(a.is_square(), util::FailureKind::kInvalidArgument,
+                       util::Stage::kCharpoly, "A must be square");
+}
 
 /// Csanky's method: s_i = Trace(A^i) for i = 1..n via explicit powers, then
 /// the Newton-identity solve.  Requires char(K) = 0 or > n.
@@ -34,7 +43,7 @@ template <kp::field::Field F>
 std::vector<typename F::Element> charpoly_csanky(
     const F& f, const matrix::Matrix<F>& a,
     matrix::MatMulStrategy strategy = matrix::MatMulStrategy::kClassical) {
-  assert(a.is_square());
+  if (!validate_charpoly_input(f, a).ok()) return {};
   const std::size_t n = a.rows();
   std::vector<typename F::Element> s(n, f.zero());
   auto pw = a;
@@ -58,7 +67,7 @@ struct FaddeevResult {
 
 template <kp::field::Field F>
 FaddeevResult<F> faddeev_leverrier(const F& f, const matrix::Matrix<F>& a) {
-  assert(a.is_square());
+  if (!validate_charpoly_input(f, a).ok()) return {};
   const std::size_t n = a.rows();
   // N_0 = I; M_k = A N_{k-1}; c_k = tr(M_k)/k; N_k = M_k - c_k I.
   auto nk = matrix::identity_matrix(f, n);
@@ -85,7 +94,7 @@ FaddeevResult<F> faddeev_leverrier(const F& f, const matrix::Matrix<F>& a) {
 template <kp::field::CommutativeRing R>
 std::vector<typename R::Element> charpoly_berkowitz(const R& r,
                                                     const matrix::Matrix<R>& a) {
-  assert(a.is_square());
+  if (!validate_charpoly_input(r, a).ok()) return {};
   using E = typename R::Element;
   const std::size_t n = a.rows();
   // q holds the charpoly of the leading principal r x r submatrix,
@@ -141,7 +150,7 @@ std::vector<typename R::Element> charpoly_berkowitz(const R& r,
 template <kp::field::Field F>
 std::vector<typename F::Element> charpoly_chistov(const F& f,
                                                   const matrix::Matrix<F>& a) {
-  assert(a.is_square());
+  if (!validate_charpoly_input(f, a).ok()) return {};
   const std::size_t n = a.rows();
   const std::size_t prec = n + 1;
   kp::poly::PolyRing<F> ring(f);

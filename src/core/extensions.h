@@ -24,6 +24,7 @@
 #include "matrix/gauss.h"
 #include "matrix/matmul.h"
 #include "util/prng.h"
+#include "util/status.h"
 
 namespace kp::core {
 
@@ -63,6 +64,7 @@ struct NullspaceResult {
   bool ok = false;
   std::size_t rank = 0;
   matrix::Matrix<F> basis;  ///< n x (n - rank); columns span ker(A)
+  util::Status status;      ///< Ok, or why the computation was rejected
 };
 
 /// Basis of the right nullspace by the section-5 construction.  Las Vegas:
@@ -73,8 +75,14 @@ NullspaceResult<F> nullspace_randomized(const F& f, const matrix::Matrix<F>& a,
                                         kp::util::Prng& prng, std::uint64_t s,
                                         int max_attempts = 3) {
   const std::size_t n = a.rows();
-  assert(a.is_square() && "section-5 construction stated for square A");
   NullspaceResult<F> res;
+  res.status = util::Require(a.is_square(), util::FailureKind::kInvalidArgument,
+                             util::Stage::kNone,
+                             "section-5 construction stated for square A");
+  if (!res.status.ok()) return res;
+  res.status = util::Status::Fail(util::FailureKind::kVerifyMismatch,
+                                  util::Stage::kVerify,
+                                  "all attempts failed verification");
 
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
     const auto u = matrix::sample_matrix(f, n, n, prng, s);
@@ -96,6 +104,7 @@ NullspaceResult<F> nullspace_randomized(const F& f, const matrix::Matrix<F>& a,
       res.ok = true;
       res.rank = n;
       res.basis = matrix::Matrix<F>(n, 0, f.zero());
+      res.status = util::Status::Ok();
       return res;
     }
 
@@ -126,6 +135,7 @@ NullspaceResult<F> nullspace_randomized(const F& f, const matrix::Matrix<F>& a,
     res.ok = true;
     res.rank = r;
     res.basis = std::move(basis);
+    res.status = util::Status::Ok();
     return res;
   }
   return res;
@@ -178,8 +188,8 @@ template <kp::field::Field F>
 std::optional<std::vector<typename F::Element>> least_squares(
     const F& f, const matrix::Matrix<F>& a,
     const std::vector<typename F::Element>& b) {
-  assert(f.characteristic() == 0 &&
-         "least squares is meaningful over characteristic-zero fields");
+  // Meaningful only over characteristic zero; reject instead of asserting.
+  if (f.characteristic() != 0 || a.rows() != b.size()) return std::nullopt;
   const auto atr = matrix::mat_transpose(f, a);
   const auto normal = matrix::mat_mul(f, atr, a);
   const auto rhs = matrix::mat_vec(f, atr, b);
@@ -194,8 +204,8 @@ template <kp::field::Field F>
 std::optional<std::vector<typename F::Element>> least_squares_randomized(
     const F& f, const matrix::Matrix<F>& a,
     const std::vector<typename F::Element>& b, kp::util::Prng& prng) {
-  assert(f.characteristic() == 0 &&
-         "least squares is meaningful over characteristic-zero fields");
+  // Meaningful only over characteristic zero; reject instead of asserting.
+  if (f.characteristic() != 0 || a.rows() != b.size()) return std::nullopt;
   const auto atr = matrix::mat_transpose(f, a);
   const auto normal = matrix::mat_mul(f, atr, a);
   const auto rhs = matrix::mat_vec(f, atr, b);

@@ -12,15 +12,33 @@
 // structure.
 #pragma once
 
-#include <cassert>
 #include <vector>
 
 #include "matrix/blackbox.h"
 #include "matrix/dense.h"
 #include "matrix/matmul.h"
 #include "pram/parallel_for.h"
+#include "util/status.h"
 
 namespace kp::core {
+
+/// Precondition of the Krylov block builders: square operator, matching
+/// start vector.  Entry points return an EMPTY block (0 x 0) on violation
+/// instead of asserting, so release builds reject malformed inputs; callers
+/// that want the reason use this validator directly.
+template <kp::field::Field F>
+util::Status validate_krylov_input(const F&, std::size_t rows,
+                                   std::size_t cols, std::size_t vec) {
+  if (rows != cols) {
+    return util::Status::Fail(util::FailureKind::kInvalidArgument,
+                              util::Stage::kProjection, "A must be square");
+  }
+  if (rows != vec) {
+    return util::Status::Fail(util::FailureKind::kInvalidArgument,
+                              util::Stage::kProjection, "dim(v) != dim(A)");
+  }
+  return util::Status::Ok();
+}
 
 /// Which route produces the Krylov data of the Theorem-4 pipeline.
 enum class KrylovRoute {
@@ -47,7 +65,9 @@ matrix::Matrix<F> krylov_block(const F& f, const matrix::Matrix<F>& a,
                                std::size_t count,
                                matrix::MatMulStrategy strategy =
                                    matrix::MatMulStrategy::kClassical) {
-  assert(a.is_square() && a.rows() == v.size());
+  if (!validate_krylov_input(f, a.rows(), a.cols(), v.size()).ok()) {
+    return matrix::Matrix<F>(0, 0, f.zero());
+  }
   const std::size_t n = a.rows();
   matrix::Matrix<F> block(n, 1, f.zero());
   for (std::size_t i = 0; i < n; ++i) block.at(i, 0) = v[i];
@@ -91,7 +111,9 @@ template <kp::field::Field F, matrix::LinOp B>
 matrix::Matrix<F> krylov_block_iterative(const F& f, const B& box,
                                          const std::vector<typename F::Element>& v,
                                          std::size_t count) {
-  assert(box.dim() == v.size());
+  if (!validate_krylov_input(f, box.dim(), box.dim(), v.size()).ok()) {
+    return matrix::Matrix<F>(0, 0, f.zero());
+  }
   const std::size_t n = box.dim();
   matrix::Matrix<F> block(n, count ? count : 1, f.zero());
   auto x = v;
@@ -122,7 +144,7 @@ template <kp::field::Field F>
 std::vector<typename F::Element> krylov_combine(
     const F& f, const matrix::Matrix<F>& block,
     const std::vector<typename F::Element>& coeffs) {
-  assert(coeffs.size() <= block.cols());
+  if (coeffs.size() > block.cols()) return {};  // malformed: block too narrow
   std::vector<typename F::Element> out(block.rows(), f.zero());
   if constexpr (kp::field::kernels::FastField<F>) {
     for (std::size_t i = 0; i < block.rows(); ++i) {

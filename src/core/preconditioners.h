@@ -22,6 +22,7 @@
 #include "matrix/structured.h"
 #include "poly/poly.h"
 #include "seq/newton_toeplitz.h"
+#include "util/fault.h"
 #include "util/prng.h"
 
 namespace kp::core {
@@ -89,6 +90,9 @@ struct Preconditioner {
   typename F::Element det(const F& f,
                           seq::NewtonIdentityMethod method =
                               seq::NewtonIdentityMethod::kTriangularSolve) const {
+    // Fault site: a zero return exercises the caller's det(H D) = 0 branch,
+    // which cannot trigger organically once g(0) != 0 is established.
+    if (KP_FAULT_POINT(util::Stage::kPrecondition)) return f.zero();
     const auto t = hankel.row_mirror_toeplitz();
     auto det_t = seq::toeplitz_det(f, t, method);
     if (hankel.mirror_det_sign() < 0) det_t = f.neg(det_t);

@@ -23,14 +23,32 @@
 // preconditioned operator is composed lazily (PreconditionedBox); only the
 // dense doubling route materializes A-tilde.
 //
-// Failure (a would-be division by zero in the circuit model) is detected
-// and reported; on non-singular inputs its probability is <= 3n^2/|S| per
-// attempt.  The returned solution is verified (Las Vegas) when
-// options.verify is set.
+// Failure handling (the Las Vegas layer, see DESIGN.md section 9):
+//
+//   * Every detected failure carries a util::Status naming its FailureKind
+//     and Stage, and every attempt leaves a util::Diag (seeds, what was
+//     re-drawn, op cost) in SolveResult::diags.
+//   * Retries are STAGE-TARGETED: the paper's failure events are
+//     independent, so a degenerate u/v projection (Lemma 2) re-draws only
+//     u, v; a singular/unlucky preconditioner (Theorem 2 / estimate (1))
+//     re-draws only H, D; only a verify mismatch -- or a second failure of
+//     the same component -- forces a full restart.  Full restarts also
+//     escalate |S|.  The two components draw from independent forked
+//     streams (util/prng.h), so a targeted re-draw cannot disturb the other
+//     component's randomness.
+//   * A per-attempt op budget (SolverOptions::op_budget_per_attempt) stops
+//     the Las Vegas loop on pathological inputs and degrades to the dense
+//     baseline (Gaussian elimination on the materialized operator), which
+//     also deterministically separates kSingularInput from bad luck.
+//
+// On non-singular inputs the per-attempt failure probability is
+// <= 3n^2/|S| (estimate (2)); the returned solution is verified (Las Vegas)
+// when options.verify is set, so a wrong x is never returned.
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "core/annihilator.h"
@@ -39,9 +57,12 @@
 #include "field/concepts.h"
 #include "matrix/blackbox.h"
 #include "matrix/dense.h"
+#include "matrix/gauss.h"
 #include "matrix/matmul.h"
 #include "seq/newton_toeplitz.h"
+#include "util/fault.h"
 #include "util/prng.h"
+#include "util/status.h"
 
 namespace kp::core {
 
@@ -63,6 +84,17 @@ struct SolverOptions {
   /// CIRCUIT has poly-logarithmic depth as Theorem 4 states.  Costs a
   /// little more work; the default optimizes sequential work instead.
   bool depth_optimal = false;
+  /// Cap on the field operations one attempt may spend (0 = unlimited).
+  /// When a failed attempt exceeds it, the Las Vegas loop stops and the
+  /// pipeline degrades to the dense baseline route instead of looping on a
+  /// pathological input.
+  std::uint64_t op_budget_per_attempt = 0;
+  /// After the attempts are exhausted, materialize the operator and settle
+  /// the outcome with Gaussian elimination: a deterministic answer, or a
+  /// deterministic kSingularInput verdict.
+  bool dense_fallback = false;
+  /// Record a util::Diag per attempt in SolveResult::diags.
+  bool collect_diag = true;
 };
 
 /// Outcome of one pipeline run.
@@ -74,44 +106,74 @@ struct SolveResult {
   std::vector<typename F::Element> charpoly_at;  ///< charpoly of A-tilde
   int attempts = 0;
   KrylovRoute route_used = KrylovRoute::kAuto;   ///< resolved route
+  util::Status status;             ///< Ok, or the run's final failure
+  std::vector<util::Diag> diags;   ///< one record per attempt (collect_diag)
+  bool used_fallback = false;      ///< answer came from the dense baseline
+  std::uint64_t sample_size_used = 0;  ///< |S| of the last attempt
 };
 
 namespace detail {
 
 /// Steps 3-4a of one attempt: from the projected sequence a_0..a_{2n-1} of
 /// the preconditioned operator, recover the generator (monic, degree n,
-/// g(0) != 0) through Lemma 1 and the Theorem-3 Toeplitz machinery; empty on
-/// failure (unlucky projection or singular input).
+/// g(0) != 0) through Lemma 1 and the Theorem-3 Toeplitz machinery.  The two
+/// distinguishable failures map onto the taxonomy:
+///   det(T) = 0  -> the projection lost information (deg f_u < n, Lemma 2):
+///                  kDegenerateProjection, re-draw u, v;
+///   g(0) = 0    -> A-tilde is singular (A itself, or an unlucky H/D):
+///                  kZeroConstantTerm, re-draw H, D.
 template <kp::field::Field F>
-std::vector<typename F::Element> generator_from_sequence(
+util::Status generator_from_sequence_status(
     const F& f, const std::vector<typename F::Element>& seq, std::size_t n,
-    const SolverOptions& opt, const kp::poly::PolyRing<F>& ring) {
+    const SolverOptions& opt, const kp::poly::PolyRing<F>& ring,
+    std::vector<typename F::Element>& g_out) {
   // Lemma 1: T = T_n of the sequence; solve T y = (a_n .. a_{2n-1}) through
   // the Theorem-3 characteristic polynomial of T.
   auto t = matrix::Toeplitz<F>::from_sequence(n, seq);
   std::vector<typename F::Element> rhs(seq.begin() + static_cast<std::ptrdiff_t>(n),
                                        seq.end());
+  if (KP_FAULT_POINT(util::Stage::kNewtonToeplitz)) {
+    return util::Status::Injected(util::FailureKind::kDegenerateProjection,
+                                  util::Stage::kNewtonToeplitz);
+  }
   std::vector<typename F::Element> y;
   if (opt.depth_optimal) {
     // Same Cayley-Hamilton solve, but through a doubling Krylov block on
     // the dense T, as the paper does ("Again from (9) we deduce ..."):
     // depth O(log^2 n) instead of the O(n)-deep iterated Toeplitz applies.
     const auto p = seq::toeplitz_charpoly(f, t, opt.newton);
-    if (f.is_zero(p[0])) return {};
+    if (f.is_zero(p[0])) {
+      return util::Status::Fail(util::FailureKind::kDegenerateProjection,
+                                util::Stage::kNewtonToeplitz,
+                                "det(T) = 0: deg f_u < n");
+    }
     const auto q = solution_combination(f, p);
     const auto block = krylov_block(f, t.to_dense(f), rhs, n, opt.matmul);
     y = krylov_combine(f, block, q);
   } else {
     y = seq::toeplitz_solve_charpoly(f, t, rhs, ring, opt.newton);
   }
-  if (y.empty()) return {};  // T singular: deg(f_u) < n, unlucky projection
+  if (y.empty()) {
+    return util::Status::Fail(util::FailureKind::kDegenerateProjection,
+                              util::Stage::kNewtonToeplitz,
+                              "det(T) = 0: deg f_u < n");
+  }
 
   // y = (c_{n-1}, ..., c_0); generator g = x^n - c_{n-1} x^{n-1} - ... - c_0.
   std::vector<typename F::Element> g(n + 1, f.zero());
   g[n] = f.one();
   for (std::size_t i = 0; i < n; ++i) g[n - 1 - i] = f.neg(y[i]);
-  if (f.eq(g[0], f.zero())) return {};  // f(0) = 0: report failure
-  return g;
+  if (KP_FAULT_POINT(util::Stage::kCharpoly)) {
+    return util::Status::Injected(util::FailureKind::kZeroConstantTerm,
+                                  util::Stage::kCharpoly);
+  }
+  if (f.eq(g[0], f.zero())) {
+    return util::Status::Fail(util::FailureKind::kZeroConstantTerm,
+                              util::Stage::kCharpoly,
+                              "g(0) = 0: A-tilde singular");
+  }
+  g_out = std::move(g);
+  return util::Status::Ok();
 }
 
 /// Dense A-tilde for the doubling route: the O(n^2 polylog) Hankel-product
@@ -130,6 +192,284 @@ matrix::Matrix<F> dense_preconditioned(const F& f,
   }
 }
 
+/// The degraded route: materialize A and settle the outcome with Gaussian
+/// elimination.  Deterministic, O(n^3) -- the price of certainty when the
+/// randomized attempts were stopped (op budget) or exhausted
+/// (dense_fallback); also the only path that PROVES kSingularInput.
+template <kp::field::Field F, matrix::LinOp B>
+void dense_fallback_run(const F& f, const B& a,
+                        const std::vector<typename F::Element>* rhs,
+                        SolveResult<F>& res) {
+  res.used_fallback = true;
+  const matrix::Matrix<F>& dense = [&]() -> matrix::Matrix<F> {
+    if constexpr (requires {
+                    { a.matrix() } -> std::convertible_to<const matrix::Matrix<F>&>;
+                  }) {
+      return a.matrix();
+    } else {
+      return matrix::materialize_dense(f, a);
+    }
+  }();
+  res.det = matrix::det_gauss(f, dense);
+  if (f.is_zero(res.det)) {
+    res.ok = false;
+    res.status = util::Status::Fail(util::FailureKind::kSingularInput,
+                                    util::Stage::kSolveFinish,
+                                    "Gaussian elimination: det(A) = 0");
+    return;
+  }
+  if (rhs) {
+    auto x = matrix::solve_gauss(f, dense, *rhs);
+    if (!x) {
+      res.ok = false;
+      res.status = util::Status::Fail(util::FailureKind::kSingularInput,
+                                      util::Stage::kSolveFinish,
+                                      "Gaussian elimination: no solution");
+      return;
+    }
+    res.x = *std::move(x);
+  }
+  res.charpoly_at.clear();  // the baseline route does not produce one
+  res.ok = true;
+  res.status = util::Status::Ok();
+}
+
+/// One shared Las Vegas loop behind kp_solve (rhs != nullptr) and kp_det
+/// (rhs == nullptr): the pipelines differ only in whether steps 4b-5 solve
+/// and verify, so the draw scheme, retry policy, and diagnostics live here
+/// exactly once.
+template <kp::field::Field F, matrix::LinOp B>
+  requires std::same_as<typename B::Element, typename F::Element>
+SolveResult<F> theorem4_run(const F& f, const B& a,
+                            const std::vector<typename F::Element>* rhs,
+                            kp::util::Prng& prng, const SolverOptions& opt) {
+  using E = typename F::Element;
+  using util::FailureKind;
+  using util::Stage;
+  using util::Status;
+
+  SolveResult<F> res;
+  const std::size_t n = a.dim();
+
+  // Public-entry validation: malformed inputs are rejected with a Status,
+  // never fed into the pipeline.
+  Status valid = util::Require(n > 0, FailureKind::kInvalidArgument,
+                               Stage::kNone, "operator dimension is zero");
+  if (valid.ok() && rhs != nullptr) {
+    valid = util::Require(rhs->size() == n, FailureKind::kInvalidArgument,
+                          Stage::kNone, "dim(b) != dim(A)");
+  }
+  if (valid.ok()) {
+    valid = util::Require(opt.max_attempts >= 1, FailureKind::kInvalidArgument,
+                          Stage::kNone, "max_attempts must be >= 1");
+  }
+  if (!valid.ok()) {
+    res.status = valid;
+    return res;
+  }
+
+  kp::poly::PolyRing<F> ring(f);
+  const auto route = resolve_route(opt.route, matrix::box_structure(a));
+  res.route_used = route;
+
+  // Independent per-component streams: a targeted re-draw of one component
+  // advances only its own stream, so the other component's randomness (and
+  // hence any backend-independent reproducibility) is untouched.
+  kp::util::Prng pre_stream = prng.fork(0x7072652d48440000ULL);   // "pre-HD"
+  kp::util::Prng proj_stream = prng.fork(0x70726f6a2d757600ULL);  // "proj-uv"
+
+  std::optional<Preconditioner<F>> pre;
+  std::vector<E> u(n), v(n);
+  std::uint64_t pre_seed = 0, proj_seed = 0;
+  bool redraw_pre = true, redraw_proj = true;
+  // Escalation state: has this component already been re-drawn ALONE since
+  // the other last changed?  A second targeted failure then implicates the
+  // pair and forces a full restart.
+  bool pre_alone = false, proj_alone = false;
+  std::uint64_t s = opt.sample_size;
+  Status last = Status::Fail(FailureKind::kNone, Stage::kNone);
+
+  for (res.attempts = 1; res.attempts <= opt.max_attempts; ++res.attempts) {
+    kp::util::fault::AttemptScope attempt_scope(res.attempts);
+    kp::util::OpScope ops;
+    util::Diag diag;
+    diag.attempt = res.attempts;
+    diag.sample_size = s;
+    res.sample_size_used = s;
+
+    const Status st = [&]() -> Status {
+      if (KP_FAULT_POINT(Stage::kDraw)) {
+        return Status::Injected(FailureKind::kInjectedFault, Stage::kDraw);
+      }
+      if (redraw_pre) {
+        kp::util::Prng r = pre_stream.fork(static_cast<std::uint64_t>(res.attempts));
+        pre_seed = r.seed();
+        pre = Preconditioner<F>::draw(f, n, r, s);
+      }
+      if (redraw_proj) {
+        kp::util::Prng r = proj_stream.fork(static_cast<std::uint64_t>(res.attempts));
+        proj_seed = r.seed();
+        for (auto& e : u) e = f.sample(r, s);
+        for (auto& e : v) e = f.sample(r, s);
+      }
+      diag.precondition_seed = pre_seed;
+      diag.projection_seed = proj_seed;
+      diag.redrew_precondition = redraw_pre;
+      diag.redrew_projection = redraw_proj;
+
+      // Proactive Theorem-2 check: a zero diagonal entry makes D -- hence
+      // A-tilde -- singular; catch it before spending the Krylov work.
+      if (KP_FAULT_POINT(Stage::kPrecondition)) {
+        return Status::Injected(FailureKind::kSingularPrecondition,
+                                Stage::kPrecondition);
+      }
+      for (const auto& d : pre->diagonal.entries()) {
+        if (f.is_zero(d)) {
+          return Status::Fail(FailureKind::kSingularPrecondition,
+                              Stage::kPrecondition,
+                              "zero diagonal entry: det(D) = 0");
+        }
+      }
+
+      std::vector<E> g;   // charpoly of A-tilde
+      std::vector<E> xt;  // A-tilde^{-1} b
+      if (route == KrylovRoute::kDoubling) {
+        const auto at = dense_preconditioned(f, ring, a, *pre);
+        // a_i = u A-tilde^i v by doubling (9).
+        const auto seq = krylov_sequence_doubling(f, at, u, v, 2 * n, opt.matmul);
+        if (KP_FAULT_POINT(Stage::kProjection)) {
+          return Status::Injected(FailureKind::kDegenerateProjection,
+                                  Stage::kProjection);
+        }
+        Status gst = generator_from_sequence_status(f, seq, n, opt, ring, g);
+        if (!gst.ok()) return gst;
+        if (rhs) {
+          // Cayley-Hamilton solve of A-tilde xt = b through the Krylov block.
+          const auto q = solution_combination(f, g);
+          const auto block = krylov_block(f, at, *rhs, n, opt.matmul);
+          xt = krylov_combine(f, block, q);
+        }
+      } else {
+        // Route (8): 2n products with the lazily composed A*H*D.
+        const auto at = pre->box(f, ring, a);
+        const auto seq = matrix::krylov_sequence_iterative(f, at, u, v, 2 * n);
+        if (KP_FAULT_POINT(Stage::kProjection)) {
+          return Status::Injected(FailureKind::kDegenerateProjection,
+                                  Stage::kProjection);
+        }
+        Status gst = generator_from_sequence_status(f, seq, n, opt, ring, g);
+        if (!gst.ok()) return gst;
+        if (rhs) xt = solve_from_annihilator(f, at, g, *rhs);
+      }
+
+      // det(A-tilde) = (-1)^n g(0); divide out the preconditioner.  det(H D)
+      // can only vanish on an unlucky draw (g(0) != 0 already rules out the
+      // composite), but the zero check guards the division regardless.
+      const auto det_hd = pre->det(f, opt.newton);
+      if (f.is_zero(det_hd)) {
+        return Status::Fail(FailureKind::kSingularPrecondition,
+                            Stage::kPrecondition, "det(H D) = 0");
+      }
+      const auto det_at = (n % 2 == 0) ? g[0] : f.neg(g[0]);
+      const E det_a = f.div(det_at, det_hd);
+
+      std::vector<E> x;
+      if (rhs) {
+        if (KP_FAULT_POINT(Stage::kSolveFinish)) {
+          return Status::Injected(FailureKind::kVerifyMismatch,
+                                  Stage::kSolveFinish);
+        }
+        x = pre->unprecondition(f, ring, xt);
+        if (opt.verify) {
+          if (KP_FAULT_POINT(Stage::kVerify)) {
+            return Status::Injected(FailureKind::kVerifyMismatch, Stage::kVerify);
+          }
+          if (a.apply(x) != *rhs) {
+            return Status::Fail(FailureKind::kVerifyMismatch, Stage::kVerify,
+                                "A x != b");
+          }
+        }
+      }
+      res.x = std::move(x);
+      res.det = det_a;
+      res.charpoly_at = std::move(g);
+      return Status::Ok();
+    }();
+
+    diag.kind = st.kind();
+    diag.stage = st.stage();
+    diag.injected = st.injected();
+    diag.ops = ops.counts();
+    if (opt.collect_diag) res.diags.push_back(diag);
+
+    if (st.ok()) {
+      res.ok = true;
+      res.status = st;
+      return res;
+    }
+    last = st;
+
+    // Op budget: a pathologically expensive failed attempt stops the loop
+    // (the degraded baseline below takes over instead of re-rolling).
+    if (opt.op_budget_per_attempt != 0 &&
+        diag.ops.total() > opt.op_budget_per_attempt) {
+      last = Status::Fail(FailureKind::kOpBudgetExhausted, st.stage(),
+                          "attempt exceeded op_budget_per_attempt");
+      break;
+    }
+
+    // Stage-targeted retry: re-draw only the component the FailureKind
+    // implicates; everything else (verify mismatch, injected synthetic
+    // faults) restarts both.
+    bool want_pre, want_proj;
+    switch (st.kind()) {
+      case FailureKind::kDegenerateProjection:
+        want_pre = false;
+        want_proj = true;
+        break;
+      case FailureKind::kSingularPrecondition:
+      case FailureKind::kZeroConstantTerm:
+        want_pre = true;
+        want_proj = false;
+        break;
+      default:
+        want_pre = true;
+        want_proj = true;
+        break;
+    }
+    if (!want_pre && proj_alone) want_pre = true;    // escalate: pair implicated
+    if (!want_proj && pre_alone) want_proj = true;
+    if (want_pre && want_proj) {
+      pre_alone = proj_alone = false;
+      // Full restarts escalate |S|: estimate (2) halves the failure bound
+      // with every doubling (no-op once S already exceeds the field).
+      if (s < (std::uint64_t{1} << 62)) s *= 2;
+    } else if (want_proj) {
+      proj_alone = true;
+    } else {
+      pre_alone = true;
+    }
+    redraw_pre = want_pre;
+    redraw_proj = want_proj;
+  }
+
+  // Exhausted (or budget-stopped).  When the sample set could never carry
+  // the est.-(2) bound, say so: the caller should route through the
+  // section-5 field_lift extension (kp_solve_adaptive does).
+  res.status = last;
+  if (last.kind() != FailureKind::kOpBudgetExhausted &&
+      n < (std::uint64_t{1} << 30) && opt.sample_size < 3 * n * n) {
+    res.status = Status::Fail(
+        FailureKind::kSampleSetTooSmall, Stage::kDraw,
+        "card(S) < 3 n^2: use the section-5 extension lift");
+  }
+
+  if (last.kind() == FailureKind::kOpBudgetExhausted || opt.dense_fallback) {
+    dense_fallback_run(f, a, rhs, res);
+  }
+  return res;
+}
+
 }  // namespace detail
 
 /// Solves A x = b (and computes det A) with the Theorem-4 pipeline, for any
@@ -139,51 +479,7 @@ template <kp::field::Field F, matrix::LinOp B>
 SolveResult<F> kp_solve(const F& f, const B& a,
                         const std::vector<typename F::Element>& b,
                         kp::util::Prng& prng, SolverOptions opt = {}) {
-  const std::size_t n = a.dim();
-  SolveResult<F> res;
-  kp::poly::PolyRing<F> ring(f);
-  const auto route = resolve_route(opt.route, matrix::box_structure(a));
-  res.route_used = route;
-
-  for (res.attempts = 1; res.attempts <= opt.max_attempts; ++res.attempts) {
-    const auto pre = Preconditioner<F>::draw(f, n, prng, opt.sample_size);
-    std::vector<typename F::Element> u(n), v(n);
-    for (auto& e : u) e = f.sample(prng, opt.sample_size);
-    for (auto& e : v) e = f.sample(prng, opt.sample_size);
-
-    std::vector<typename F::Element> xt;  // A-tilde^{-1} b
-    std::vector<typename F::Element> g;   // charpoly of A-tilde
-    if (route == KrylovRoute::kDoubling) {
-      const auto at = detail::dense_preconditioned(f, ring, a, pre);
-      // a_i = u A-tilde^i v by doubling (9).
-      const auto seq = krylov_sequence_doubling(f, at, u, v, 2 * n, opt.matmul);
-      g = detail::generator_from_sequence(f, seq, n, opt, ring);
-      if (g.empty()) continue;
-      // Cayley-Hamilton solve of A-tilde xt = b through the Krylov block.
-      const auto q = solution_combination(f, g);
-      const auto block = krylov_block(f, at, b, n, opt.matmul);
-      xt = krylov_combine(f, block, q);
-    } else {
-      // Route (8): 2n products with the lazily composed A*H*D.
-      const auto at = pre.box(f, ring, a);
-      const auto seq = matrix::krylov_sequence_iterative(f, at, u, v, 2 * n);
-      g = detail::generator_from_sequence(f, seq, n, opt, ring);
-      if (g.empty()) continue;
-      xt = solve_from_annihilator(f, at, g, b);
-    }
-
-    auto x = pre.unprecondition(f, ring, xt);
-    if (opt.verify && a.apply(x) != b) continue;
-
-    // det(A-tilde) = (-1)^n g(0); divide out the preconditioner.
-    auto det_at = (n % 2 == 0) ? g[0] : f.neg(g[0]);
-    res.det = f.div(det_at, pre.det(f, opt.newton));
-    res.x = std::move(x);
-    res.charpoly_at = std::move(g);
-    res.ok = true;
-    return res;
-  }
-  return res;
+  return detail::theorem4_run(f, a, &b, prng, opt);
 }
 
 /// Determinant only (same pipeline, no right-hand side).
@@ -191,34 +487,7 @@ template <kp::field::Field F, matrix::LinOp B>
   requires std::same_as<typename B::Element, typename F::Element>
 SolveResult<F> kp_det(const F& f, const B& a, kp::util::Prng& prng,
                       SolverOptions opt = {}) {
-  const std::size_t n = a.dim();
-  SolveResult<F> res;
-  kp::poly::PolyRing<F> ring(f);
-  const auto route = resolve_route(opt.route, matrix::box_structure(a));
-  res.route_used = route;
-  for (res.attempts = 1; res.attempts <= opt.max_attempts; ++res.attempts) {
-    const auto pre = Preconditioner<F>::draw(f, n, prng, opt.sample_size);
-    std::vector<typename F::Element> u(n), v(n);
-    for (auto& e : u) e = f.sample(prng, opt.sample_size);
-    for (auto& e : v) e = f.sample(prng, opt.sample_size);
-
-    std::vector<typename F::Element> seq;
-    if (route == KrylovRoute::kDoubling) {
-      const auto at = detail::dense_preconditioned(f, ring, a, pre);
-      seq = krylov_sequence_doubling(f, at, u, v, 2 * n, opt.matmul);
-    } else {
-      const auto at = pre.box(f, ring, a);
-      seq = matrix::krylov_sequence_iterative(f, at, u, v, 2 * n);
-    }
-    auto g = detail::generator_from_sequence(f, seq, n, opt, ring);
-    if (g.empty()) continue;
-    auto det_at = (n % 2 == 0) ? g[0] : f.neg(g[0]);
-    res.det = f.div(det_at, pre.det(f, opt.newton));
-    res.charpoly_at = std::move(g);
-    res.ok = true;
-    return res;
-  }
-  return res;
+  return detail::theorem4_run<F, B>(f, a, nullptr, prng, opt);
 }
 
 /// Dense-matrix adapter: existing call sites keep their signature; the
@@ -228,6 +497,12 @@ template <kp::field::Field F>
 SolveResult<F> kp_solve(const F& f, const matrix::Matrix<F>& a,
                         const std::vector<typename F::Element>& b,
                         kp::util::Prng& prng, SolverOptions opt = {}) {
+  if (!a.is_square()) {
+    SolveResult<F> res;
+    res.status = util::Status::Fail(util::FailureKind::kInvalidArgument,
+                                    util::Stage::kNone, "A must be square");
+    return res;
+  }
   const matrix::DenseViewBox<F> box(f, a);
   return kp_solve(f, box, b, prng, opt);
 }
@@ -236,6 +511,12 @@ SolveResult<F> kp_solve(const F& f, const matrix::Matrix<F>& a,
 template <kp::field::Field F>
 SolveResult<F> kp_det(const F& f, const matrix::Matrix<F>& a,
                       kp::util::Prng& prng, SolverOptions opt = {}) {
+  if (!a.is_square()) {
+    SolveResult<F> res;
+    res.status = util::Status::Fail(util::FailureKind::kInvalidArgument,
+                                    util::Stage::kNone, "A must be square");
+    return res;
+  }
   const matrix::DenseViewBox<F> box(f, a);
   return kp_det(f, box, prng, opt);
 }

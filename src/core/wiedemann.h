@@ -9,6 +9,11 @@
 //   * wiedemann_singular_test -- Las Vegas "det(A) = 0" certificate
 //   * wiedemann_solve         -- non-singular solve, Las Vegas (verifies Ax=b)
 //   * wiedemann_det           -- determinant via the Theorem-2 preconditioner
+//
+// The Las Vegas entries thread util::Status through their retry loops
+// (wiedemann_solve_status / wiedemann_det keep per-attempt Diag records and
+// re-draw only the implicated component); the optional-returning forms stay
+// as thin wrappers.
 #pragma once
 
 #include <cstdint>
@@ -20,7 +25,9 @@
 #include "field/concepts.h"
 #include "matrix/blackbox.h"
 #include "seq/berlekamp_massey.h"
+#include "util/fault.h"
 #include "util/prng.h"
+#include "util/status.h"
 
 namespace kp::core {
 
@@ -49,27 +56,111 @@ bool wiedemann_singular_test(const F& f, const B& box, kp::util::Prng& prng,
   return mp.size() >= 2 && f.eq(mp[0], f.zero());
 }
 
+/// Status-carrying outcome of the Las Vegas black-box solve.
+template <kp::field::Field F>
+struct WiedemannSolveResult {
+  bool ok = false;
+  std::vector<typename F::Element> x;
+  int attempts = 0;
+  util::Status status;
+  std::vector<util::Diag> diags;  ///< one record per attempt
+};
+
 /// Solves A x = b for non-singular A through the minimum polynomial of the
-/// sequence {A^i b}.  Las Vegas: the candidate is verified and retried with
-/// fresh randomness (up to max_attempts); nullopt means every attempt
-/// failed, which for non-singular A has probability <= (2n/|S|)^attempts.
+/// sequence {A^i b}, with the full failure taxonomy.  The only randomness is
+/// the projection vector u, so every retry is a projection re-draw (Lemma 2
+/// is the only bound in play); failure after max_attempts has probability
+/// <= (2n/|S|)^attempts for non-singular A.
+template <kp::field::Field F, matrix::LinOp B>
+WiedemannSolveResult<F> wiedemann_solve_status(
+    const F& f, const B& box, const std::vector<typename F::Element>& b,
+    kp::util::Prng& prng, std::uint64_t s, int max_attempts = 3) {
+  using util::FailureKind;
+  using util::Stage;
+  using util::Status;
+  WiedemannSolveResult<F> res;
+  const std::size_t n = box.dim();
+  const Status valid =
+      util::Require(b.size() == n && max_attempts >= 1,
+                    FailureKind::kInvalidArgument, Stage::kNone,
+                    "dim(b) != dim(A) or max_attempts < 1");
+  if (!valid.ok()) {
+    res.status = valid;
+    return res;
+  }
+
+  Status last = Status::Fail(FailureKind::kDegenerateProjection,
+                             Stage::kProjection, "no attempt run");
+  for (res.attempts = 1; res.attempts <= max_attempts; ++res.attempts) {
+    kp::util::fault::AttemptScope attempt_scope(res.attempts);
+    kp::util::OpScope ops;
+    util::Diag diag;
+    diag.attempt = res.attempts;
+    diag.sample_size = s;
+    diag.redrew_projection = true;  // u is the attempt's only randomness
+
+    const Status st = [&]() -> Status {
+      // Project {A^i b} through a random u; the sequence's minimum
+      // polynomial f_u^{A,b} divides f^{A,b} and equals it w.h.p.
+      // (Theorem 1 / Lemma 2).
+      kp::util::Prng r = prng.fork(static_cast<std::uint64_t>(res.attempts));
+      diag.projection_seed = r.seed();
+      std::vector<typename F::Element> u(n);
+      for (auto& e : u) e = f.sample(r, s);
+      const auto seq = matrix::krylov_sequence_iterative(f, box, u, b, 2 * n);
+      if (KP_FAULT_POINT(Stage::kProjection)) {
+        return Status::Injected(FailureKind::kDegenerateProjection,
+                                Stage::kProjection);
+      }
+      auto g = seq::berlekamp_massey(f, seq);
+      if (g.size() < 2) {
+        return Status::Fail(FailureKind::kDegenerateProjection,
+                            Stage::kCharpoly, "trivial minimum polynomial");
+      }
+      if (KP_FAULT_POINT(Stage::kCharpoly)) {
+        return Status::Injected(FailureKind::kZeroConstantTerm,
+                                Stage::kCharpoly);
+      }
+      if (f.eq(g[0], f.zero())) {
+        return Status::Fail(FailureKind::kZeroConstantTerm, Stage::kCharpoly,
+                            "f_u(0) = 0: A singular or unlucky projection");
+      }
+      auto x = solve_from_annihilator(f, box, g, b);
+      if (KP_FAULT_POINT(Stage::kVerify)) {
+        return Status::Injected(FailureKind::kVerifyMismatch, Stage::kVerify);
+      }
+      if (box.apply(x) != b) {
+        return Status::Fail(FailureKind::kVerifyMismatch, Stage::kVerify,
+                            "A x != b");
+      }
+      res.x = std::move(x);
+      return Status::Ok();
+    }();
+
+    diag.kind = st.kind();
+    diag.stage = st.stage();
+    diag.injected = st.injected();
+    diag.ops = ops.counts();
+    res.diags.push_back(diag);
+    if (st.ok()) {
+      res.ok = true;
+      res.status = st;
+      return res;
+    }
+    last = st;
+  }
+  res.status = last;
+  return res;
+}
+
+/// Legacy optional-returning form of wiedemann_solve_status.
 template <kp::field::Field F, matrix::LinOp B>
 std::optional<std::vector<typename F::Element>> wiedemann_solve(
     const F& f, const B& box, const std::vector<typename F::Element>& b,
     kp::util::Prng& prng, std::uint64_t s, int max_attempts = 3) {
-  const std::size_t n = box.dim();
-  for (int attempt = 0; attempt < max_attempts; ++attempt) {
-    // Project {A^i b} through a random u; the sequence's minimum polynomial
-    // f_u^{A,b} divides f^{A,b} and equals it w.h.p. (Theorem 1 / Lemma 2).
-    std::vector<typename F::Element> u(n);
-    for (auto& e : u) e = f.sample(prng, s);
-    const auto seq = matrix::krylov_sequence_iterative(f, box, u, b, 2 * n);
-    auto g = seq::berlekamp_massey(f, seq);
-    if (g.size() < 2 || f.eq(g[0], f.zero())) continue;  // unlucky projection
-    auto x = solve_from_annihilator(f, box, g, b);
-    if (box.apply(x) == b) return x;  // Las Vegas verification
-  }
-  return std::nullopt;
+  auto res = wiedemann_solve_status(f, box, b, prng, s, max_attempts);
+  if (!res.ok) return std::nullopt;
+  return std::move(res.x);
 }
 
 /// Result of the randomized determinant.
@@ -77,34 +168,150 @@ template <kp::field::Field F>
 struct DetResult {
   bool ok = false;                 ///< false: unlucky randomness (or singular)
   typename F::Element value{};     ///< det(A) when ok
+  int attempts = 0;
+  util::Status status;
+  std::vector<util::Diag> diags;   ///< one record per attempt
 };
 
 /// Determinant of a non-singular A by Wiedemann's method with the
 /// Saunders/Theorem-2 preconditioner: A-tilde = A H D, the projected minimum
 /// polynomial of A-tilde is its characteristic polynomial w.h.p., and
 /// det(A) = (-1)^n f(0)-style recovery divided by det(H) det(D).
-/// Failure probability <= 3n^2/|S| per attempt (estimate (2)).
+/// Failure probability <= 3n^2/|S| per attempt (estimate (2)).  Retries are
+/// stage-targeted like the Theorem-4 solver: deg f_u < n re-draws only the
+/// projection pair, a zero constant term or singular H/D re-draws only the
+/// preconditioner, and a repeat of the same component restarts both.
 template <kp::field::Field F>
 DetResult<F> wiedemann_det(const F& f, const matrix::Matrix<F>& a,
                            kp::util::Prng& prng, std::uint64_t s,
                            int max_attempts = 3) {
+  using util::FailureKind;
+  using util::Stage;
+  using util::Status;
+  DetResult<F> res;
   const std::size_t n = a.rows();
-  kp::poly::PolyRing<F> ring(f);
-  for (int attempt = 0; attempt < max_attempts; ++attempt) {
-    const auto pre = Preconditioner<F>::draw(f, n, prng, s);
-    const auto at = pre.apply_dense(f, ring, a);
-    matrix::DenseBox<F> box(f, at);
-    const auto g = wiedemann_minpoly(f, box, prng, s);
-    // Failure: deg < n or g(0) = 0 (the paper's explicit failure report).
-    if (g.size() != n + 1 || f.eq(g[0], f.zero())) continue;
-    // g is the characteristic polynomial of A-tilde:
-    // det(A-tilde) = (-1)^n g(0).
-    auto det_at = (n % 2 == 0) ? g[0] : f.neg(g[0]);
-    const auto det_hd = pre.det(f);
-    if (f.eq(det_hd, f.zero())) continue;  // cannot happen when g(0) != 0
-    return {true, f.div(det_at, det_hd)};
+  const Status valid =
+      util::Require(a.is_square() && n > 0 && max_attempts >= 1,
+                    FailureKind::kInvalidArgument, Stage::kNone,
+                    "A must be square and max_attempts >= 1");
+  if (!valid.ok()) {
+    res.status = valid;
+    return res;
   }
-  return {};
+  kp::poly::PolyRing<F> ring(f);
+
+  kp::util::Prng pre_stream = prng.fork(0x7072652d48440000ULL);   // "pre-HD"
+  kp::util::Prng proj_stream = prng.fork(0x70726f6a2d757600ULL);  // "proj-uv"
+  std::optional<Preconditioner<F>> pre;
+  std::optional<matrix::Matrix<F>> at;
+  std::uint64_t pre_seed = 0, proj_seed = 0;
+  bool redraw_pre = true, redraw_proj = true;
+  bool pre_alone = false, proj_alone = false;
+  Status last = Status::Fail(FailureKind::kDegenerateProjection,
+                             Stage::kProjection, "no attempt run");
+
+  for (res.attempts = 1; res.attempts <= max_attempts; ++res.attempts) {
+    kp::util::fault::AttemptScope attempt_scope(res.attempts);
+    kp::util::OpScope ops;
+    util::Diag diag;
+    diag.attempt = res.attempts;
+    diag.sample_size = s;
+
+    const Status st = [&]() -> Status {
+      if (redraw_pre) {
+        kp::util::Prng r = pre_stream.fork(static_cast<std::uint64_t>(res.attempts));
+        pre_seed = r.seed();
+        pre = Preconditioner<F>::draw(f, n, r, s);
+        at = pre->apply_dense(f, ring, a);
+      }
+      diag.precondition_seed = pre_seed;
+      diag.redrew_precondition = redraw_pre;
+      diag.redrew_projection = redraw_proj;
+
+      matrix::DenseBox<F> box(f, *at);
+      // A kept projection replays its recorded seed bit-for-bit (fork()
+      // consumes parent state, so re-forking would NOT reproduce it).
+      if (redraw_proj) {
+        proj_seed =
+            proj_stream.fork(static_cast<std::uint64_t>(res.attempts)).seed();
+      }
+      kp::util::Prng r{proj_seed};
+      diag.projection_seed = proj_seed;
+      if (KP_FAULT_POINT(Stage::kProjection)) {
+        return Status::Injected(FailureKind::kDegenerateProjection,
+                                Stage::kProjection);
+      }
+      const auto g = wiedemann_minpoly(f, box, r, s);
+      // Failure: deg < n (projection lost information) or g(0) = 0 (the
+      // paper's explicit failure report -- A or the preconditioner).
+      if (g.size() != n + 1) {
+        return Status::Fail(FailureKind::kDegenerateProjection,
+                            Stage::kProjection, "deg f_u < n");
+      }
+      if (KP_FAULT_POINT(Stage::kCharpoly)) {
+        return Status::Injected(FailureKind::kZeroConstantTerm,
+                                Stage::kCharpoly);
+      }
+      if (f.eq(g[0], f.zero())) {
+        return Status::Fail(FailureKind::kZeroConstantTerm, Stage::kCharpoly,
+                            "f_u(0) = 0: A-tilde singular");
+      }
+      // g is the characteristic polynomial of A-tilde:
+      // det(A-tilde) = (-1)^n g(0).
+      const auto det_at = (n % 2 == 0) ? g[0] : f.neg(g[0]);
+      const auto det_hd = pre->det(f);
+      if (f.eq(det_hd, f.zero())) {
+        // Cannot happen organically when g(0) != 0; reachable via the
+        // Preconditioner::det fault site.
+        return Status::Fail(FailureKind::kSingularPrecondition,
+                            Stage::kPrecondition, "det(H D) = 0");
+      }
+      res.value = f.div(det_at, det_hd);
+      return Status::Ok();
+    }();
+
+    diag.kind = st.kind();
+    diag.stage = st.stage();
+    diag.injected = st.injected();
+    diag.ops = ops.counts();
+    res.diags.push_back(diag);
+    if (st.ok()) {
+      res.ok = true;
+      res.status = st;
+      return res;
+    }
+    last = st;
+
+    bool want_pre, want_proj;
+    switch (st.kind()) {
+      case FailureKind::kDegenerateProjection:
+        want_pre = false;
+        want_proj = true;
+        break;
+      case FailureKind::kSingularPrecondition:
+      case FailureKind::kZeroConstantTerm:
+        want_pre = true;
+        want_proj = false;
+        break;
+      default:
+        want_pre = true;
+        want_proj = true;
+        break;
+    }
+    if (!want_pre && proj_alone) want_pre = true;
+    if (!want_proj && pre_alone) want_proj = true;
+    if (want_pre && want_proj) {
+      pre_alone = proj_alone = false;
+    } else if (want_proj) {
+      proj_alone = true;
+    } else {
+      pre_alone = true;
+    }
+    redraw_pre = want_pre;
+    redraw_proj = want_proj;
+  }
+  res.status = last;
+  return res;
 }
 
 }  // namespace kp::core

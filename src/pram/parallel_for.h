@@ -17,12 +17,21 @@
 // workers are folded back into the submitting thread's thread-local
 // counters, so an OpScope around a parallel kernel still measures the exact
 // total work in the paper's own units.
+//
+// Exception safety: if fn(i) throws on any participant, the first exception
+// is captured, the batch's remaining blocks are drained without running
+// their iterations, and the exception rethrows on the *submitting* thread
+// once every participant has left the batch.  The pool itself is never
+// poisoned -- workers survive and the next region runs normally -- so a
+// Las Vegas retry loop above a throwing kernel behaves identically at any
+// worker count.
 #pragma once
 
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -77,8 +86,9 @@ class ExecutionContext {
   static constexpr unsigned kMaxPoolThreads = 32;
 
   /// Runs fn(i) for i in [begin, end), blocking until every iteration
-  /// finished.  fn must not throw.  max_workers limits this region's
-  /// parallelism (0 = default).
+  /// finished.  If fn throws, the first exception (in claim order) rethrows
+  /// here after the remaining blocks are drained; the pool stays usable.
+  /// max_workers limits this region's parallelism (0 = default).
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& fn,
                     unsigned max_workers = 0) {
@@ -127,6 +137,7 @@ class ExecutionContext {
     // Fold the workers' field-op counts into this thread's counters so the
     // measured work is independent of the degree of parallelism.
     kp::util::tl_op_counts += batch.worker_ops;
+    if (batch.error) std::rethrow_exception(batch.error);
   }
 
  private:
@@ -138,6 +149,7 @@ class ExecutionContext {
     std::size_t done = 0;    ///< completed blocks (guarded by m_)
     int inside = 0;          ///< threads currently touching the batch
     kp::util::OpCounts worker_ops;  ///< ops performed by pool threads
+    std::exception_ptr error;       ///< first exception (guarded by m_)
   };
 
   static bool& in_region() {
@@ -159,15 +171,28 @@ class ExecutionContext {
   }
 
   /// Claims and runs blocks of the batch until none remain.  Called with
-  /// the lock held; runs iterations unlocked.
+  /// the lock held; runs iterations unlocked.  Once any participant's
+  /// iteration throws, the remaining blocks are claimed but their iterations
+  /// are skipped (drained), so done reaches blocks and every waiter wakes;
+  /// the submitter rethrows the stored exception after the batch retires.
   void run_blocks(Batch& b, std::unique_lock<std::mutex>& lk) {
     ++b.inside;
     while (b.next < b.blocks) {
       const std::size_t k = b.next++;
       const std::size_t lo = b.begin + k * b.chunk;
       const std::size_t hi = std::min(b.end, lo + b.chunk);
+      const bool drain = b.error != nullptr;
       lk.unlock();
-      for (std::size_t i = lo; i < hi; ++i) (*b.fn)(i);
+      if (!drain) {
+        try {
+          for (std::size_t i = lo; i < hi; ++i) (*b.fn)(i);
+        } catch (...) {
+          lk.lock();
+          if (!b.error) b.error = std::current_exception();
+          ++b.done;
+          continue;
+        }
+      }
       lk.lock();
       ++b.done;
     }

@@ -25,6 +25,7 @@
 #include "matrix/gauss.h"
 #include "matrix/structured.h"
 #include "poly/poly.h"
+#include "util/fault.h"
 
 namespace kp::seq {
 
@@ -269,8 +270,11 @@ std::optional<GohbergSemencul<F>> gs_from_toeplitz_gauss(
   auto u = matrix::solve_gauss(f, dense, e1);
   if (!u) return std::nullopt;
   auto y = matrix::solve_gauss(f, dense, en);
-  assert(y.has_value());
-  if (f.is_zero((*u)[0])) return std::nullopt;
+  if (!y) return std::nullopt;  // unreachable: solve of e1 already succeeded
+  if (KP_FAULT_POINT(kp::util::Stage::kGohbergSemencul) ||
+      f.is_zero((*u)[0])) {
+    return std::nullopt;
+  }
   auto u1_inv = f.inv((*u)[0]);
   return GohbergSemencul<F>{std::move(*u), std::move(*y), std::move(u1_inv)};
 }

@@ -18,7 +18,6 @@
 // division-free methods; bench_toeplitz_charpoly measures the exponent.
 #pragma once
 
-#include <cassert>
 #include <vector>
 
 #include "field/concepts.h"
@@ -26,6 +25,8 @@
 #include "poly/poly.h"
 #include "seq/gohberg_semencul.h"
 #include "seq/newton_identities.h"
+#include "util/fault.h"
+#include "util/status.h"
 
 namespace kp::seq {
 
@@ -178,7 +179,7 @@ typename F::Element toeplitz_det(
 /// with p(T) = 0, T^{-1} = -(1/p_0) sum_{k>=1} p_k T^{k-1}, so x is a
 /// matrix-polynomial apply using Toeplitz-vector products (O(n M(n)) work).
 /// Returns an empty vector when the characteristic polynomial reports
-/// det(T) = 0.
+/// det(T) = 0, or when dim(b) != dim(T).
 template <kp::field::Field F>
 std::vector<typename F::Element> toeplitz_solve_charpoly(
     const F& f, const matrix::Toeplitz<F>& t,
@@ -186,9 +187,11 @@ std::vector<typename F::Element> toeplitz_solve_charpoly(
     const kp::poly::PolyRing<F>& ring,
     NewtonIdentityMethod method = NewtonIdentityMethod::kTriangularSolve) {
   const std::size_t n = t.dim();
-  assert(b.size() == n);
+  if (b.size() != n) return {};
   const auto p = toeplitz_charpoly(f, t, method);
-  if (f.is_zero(p[0])) return {};
+  if (KP_FAULT_POINT(kp::util::Stage::kNewtonToeplitz) || f.is_zero(p[0])) {
+    return {};
+  }
   // acc = sum_{k>=1} p_k T^{k-1} b, then x = -acc / p_0.
   std::vector<typename F::Element> w = b;
   std::vector<typename F::Element> acc(n, f.zero());
@@ -204,6 +207,31 @@ std::vector<typename F::Element> toeplitz_solve_charpoly(
   return acc;
 }
 
+/// Status-carrying form of toeplitz_solve_charpoly: distinguishes the
+/// malformed call (dim mismatch) from the legitimate Theorem-3 failure
+/// report det(T) = 0.
+template <kp::field::Field F>
+kp::util::StatusOr<std::vector<typename F::Element>>
+toeplitz_solve_charpoly_status(
+    const F& f, const matrix::Toeplitz<F>& t,
+    const std::vector<typename F::Element>& b,
+    const kp::poly::PolyRing<F>& ring,
+    NewtonIdentityMethod method = NewtonIdentityMethod::kTriangularSolve) {
+  using kp::util::FailureKind;
+  using kp::util::Stage;
+  using kp::util::Status;
+  if (b.size() != t.dim()) {
+    return Status::Fail(FailureKind::kInvalidArgument, Stage::kNewtonToeplitz,
+                        "dim(b) != dim(T)");
+  }
+  auto x = toeplitz_solve_charpoly(f, t, b, ring, method);
+  if (x.empty()) {
+    return Status::Fail(FailureKind::kSingularInput, Stage::kNewtonToeplitz,
+                        "charpoly reports det(T) = 0");
+  }
+  return x;
+}
+
 /// Gohberg-Semencul representation through the section-3 machinery: ONE
 /// characteristic-polynomial computation, then both defining columns by the
 /// Cayley-Hamilton combination -- O(n^2 polylog) work total, against the
@@ -215,7 +243,10 @@ std::optional<GohbergSemencul<F>> gs_from_toeplitz(
     NewtonIdentityMethod method = NewtonIdentityMethod::kTriangularSolve) {
   const std::size_t n = t.dim();
   const auto p = toeplitz_charpoly(f, t, method);
-  if (f.is_zero(p[0])) return std::nullopt;  // singular
+  if (KP_FAULT_POINT(kp::util::Stage::kGohbergSemencul) ||
+      f.is_zero(p[0])) {
+    return std::nullopt;  // singular
+  }
   const auto scale = f.neg(f.inv(p[0]));
 
   // x = T^{-1} b = -(1/p_0) sum_{k>=1} p_k T^{k-1} b.
@@ -236,7 +267,10 @@ std::optional<GohbergSemencul<F>> gs_from_toeplitz(
   e1[0] = f.one();
   en[n - 1] = f.one();
   auto u = solve(std::move(e1));
-  if (f.is_zero(u[0])) return std::nullopt;
+  if (KP_FAULT_POINT(kp::util::Stage::kGohbergSemencul) ||
+      f.is_zero(u[0])) {
+    return std::nullopt;  // (T^{-1})_{1,1} = 0
+  }
   auto y = solve(std::move(en));
   auto u1_inv = f.inv(u[0]);
   return GohbergSemencul<F>{std::move(u), std::move(y), std::move(u1_inv)};
@@ -254,7 +288,7 @@ template <kp::field::Field F>
 std::vector<typename F::Element> minpoly_parallel(
     const F& f, const std::vector<typename F::Element>& seq,
     std::size_t max_degree, const kp::poly::PolyRing<F>& ring) {
-  assert(seq.size() >= 2 * max_degree);
+  if (seq.size() < 2 * max_degree) return {};  // malformed: too few terms
   auto det_nonzero = [&](std::size_t mu) {
     const auto t = matrix::Toeplitz<F>::from_sequence(mu, seq);
     return !f.is_zero(toeplitz_det(f, t));
@@ -275,7 +309,9 @@ std::vector<typename F::Element> minpoly_parallel(
   std::vector<typename F::Element> rhs(seq.begin() + static_cast<std::ptrdiff_t>(m),
                                        seq.begin() + static_cast<std::ptrdiff_t>(2 * m));
   auto y = toeplitz_solve_charpoly(f, t, rhs, ring);
-  assert(!y.empty());
+  // det(T_m) != 0 was just certified, so emptiness can only come from the
+  // kNewtonToeplitz fault site; report the degenerate result upward.
+  if (y.empty()) return {};
   std::vector<typename F::Element> out(m + 1, f.zero());
   out[m] = f.one();
   for (std::size_t i = 0; i < m; ++i) out[m - 1 - i] = f.neg(y[i]);

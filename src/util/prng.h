@@ -4,6 +4,23 @@
 // through kp::util::Prng so that every experiment is reproducible from a
 // 64-bit seed.  The generator is xoshiro256** (Blackman & Vigna), which has a
 // 256-bit state, passes BigCrush, and is far faster than std::mt19937_64.
+//
+// Seeding contract:
+//   * The 256-bit state is expanded from the 64-bit seed by iterating
+//     splitmix64, as the xoshiro authors recommend: the four words are the
+//     four successive splitmix64 outputs, so they are decorrelated even for
+//     adjacent or small seeds (including 0 -- splitmix64(0..3) is a full
+//     avalanche, not a weak state; an all-zero xoshiro state, the one truly
+//     degenerate input, is additionally guarded against below).
+//   * seed() returns the value the generator was (re)seeded with, so callers
+//     can record it in diagnostics (util::Diag) and replay a failing attempt
+//     in isolation.
+//   * fork(tag) derives an independent child stream from the parent: it
+//     consumes one parent output and mixes it with the tag, so (a) distinct
+//     tags give decorrelated streams, (b) repeated forks with the same tag
+//     give fresh streams, and (c) the child records its own 64-bit seed.
+//     Stage-targeted retries fork one stream per randomized component
+//     (preconditioner, projection) and re-draw only the implicated one.
 #pragma once
 
 #include <cstdint>
@@ -24,8 +41,25 @@ class Prng {
   explicit Prng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
 
   void reseed(std::uint64_t seed) {
+    seed_ = seed;
     for (auto& word : state_) word = splitmix64(seed);
+    // xoshiro's only invalid state is all-zero (it is a fixed point).  No
+    // 64-bit seed actually produces it through splitmix64, but guard anyway
+    // so the invariant is local and future-proof.
+    if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) {
+      state_[0] = 0x9e3779b97f4a7c15ULL;
+    }
   }
+
+  /// The seed this generator was last (re)seeded with -- recorded in Diag so
+  /// any attempt's randomness can be replayed.
+  std::uint64_t seed() const { return seed_; }
+
+  /// Splits off an independent, reproducible child stream keyed by `tag`.
+  /// Consumes one output of this generator, so successive forks (even with
+  /// equal tags) differ, while the same parent seed + same fork sequence
+  /// replays identically.
+  Prng fork(std::uint64_t tag) { return Prng(mix64((*this)() ^ mix64(tag))); }
 
   static constexpr result_type min() { return 0; }
   static constexpr result_type max() {
@@ -67,6 +101,15 @@ class Prng {
   /// Fair coin.
   bool coin() { return ((*this)() >> 63) != 0; }
 
+  /// splitmix64 finalizer as a pure function -- the standard 64-bit mixer,
+  /// used by fork() to decorrelate tags from stream values.
+  static constexpr std::uint64_t mix64(std::uint64_t z) {
+    z += 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));
@@ -80,6 +123,7 @@ class Prng {
   }
 
   std::uint64_t state_[4];
+  std::uint64_t seed_ = 0;
 };
 
 }  // namespace kp::util

@@ -1,0 +1,193 @@
+// Failure taxonomy and diagnostics for the Las Vegas pipeline.
+//
+// Every stage of the Theorem-4 pipeline is Monte Carlo: a would-be division
+// by zero (probability <= 3n^2/|S| per attempt, estimate (2) + Lemma 2)
+// surfaces as a *detected* failure, never a wrong answer.  The paper's three
+// independent failure events map onto distinct FailureKinds:
+//
+//   * the u/v projection loses information (Lemma 2, deg f_u < n)
+//                                   -> kDegenerateProjection, re-draw u, v;
+//   * the Hankel/diagonal preconditioner is singular or fails Theorem 2 /
+//     estimate (1) (minpoly != charpoly)
+//                                   -> kSingularPrecondition /
+//                                      kZeroConstantTerm, re-draw H, D;
+//   * the verified candidate mismatches (an undetected combination of both)
+//                                   -> kVerifyMismatch, full restart.
+//
+// Status carries the kind + stage of the first detected failure; Diag is the
+// per-attempt record (which randomness was drawn from which seed, how much
+// work the attempt cost) that makes a failed run diagnosable after the fact.
+// The taxonomy is shared by kp_solve / kp_det / wiedemann_* /
+// toeplitz_solve_charpoly / field_lift; the legacy optional/empty-returning
+// APIs remain as thin wrappers over the Status-returning ones.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "util/op_count.h"
+
+namespace kp::util {
+
+/// What failed.  Ordered roughly by "how targeted the recovery can be".
+enum class FailureKind : std::uint8_t {
+  kNone = 0,               ///< success
+  kDegenerateProjection,   ///< u/v projection lost information (deg f_u < n)
+  kSingularPrecondition,   ///< H or D singular (det(H D) = 0)
+  kZeroConstantTerm,       ///< f(0) = 0: A-tilde singular (A, H, or D)
+  kVerifyMismatch,         ///< candidate failed the Las Vegas check A x = b
+  kSampleSetTooSmall,      ///< |S| < 3 n^2: the est.-(2) bound is vacuous
+  kSingularInput,          ///< deterministically confirmed det(A) = 0
+  kInvalidArgument,        ///< malformed input (non-square, dim mismatch, ...)
+  kOpBudgetExhausted,      ///< per-attempt op budget hit; degraded to baseline
+  kInjectedFault,          ///< synthetic failure from the fault harness
+};
+
+/// Where it failed.  Stages double as fault-injection trigger keys
+/// (util/fault.h), so the count below must track the enumerators.
+enum class Stage : std::uint8_t {
+  kNone = 0,
+  kDraw,             ///< sampling the attempt's randomness
+  kPrecondition,     ///< Theorem-2 H, D (draw, det, zero checks)
+  kProjection,       ///< u A-tilde^i v sequence and its Lemma-1 Toeplitz
+  kCharpoly,         ///< generator/charpoly recovery (g(0) zero check)
+  kNewtonToeplitz,   ///< section-3 Newton-on-Toeplitz solve (det(T) check)
+  kGohbergSemencul,  ///< Gohberg-Semencul construction ((T^-1)_{1,1} check)
+  kSolveFinish,      ///< Cayley-Hamilton finish / unpreconditioning
+  kVerify,           ///< Las Vegas verification A x = b
+  kLift,             ///< section-5 field extension lift
+};
+
+inline constexpr int kStageCount = 10;
+
+inline const char* to_string(FailureKind k) {
+  switch (k) {
+    case FailureKind::kNone: return "ok";
+    case FailureKind::kDegenerateProjection: return "degenerate-projection";
+    case FailureKind::kSingularPrecondition: return "singular-precondition";
+    case FailureKind::kZeroConstantTerm: return "zero-constant-term";
+    case FailureKind::kVerifyMismatch: return "verify-mismatch";
+    case FailureKind::kSampleSetTooSmall: return "sample-set-too-small";
+    case FailureKind::kSingularInput: return "singular-input";
+    case FailureKind::kInvalidArgument: return "invalid-argument";
+    case FailureKind::kOpBudgetExhausted: return "op-budget-exhausted";
+    case FailureKind::kInjectedFault: return "injected-fault";
+  }
+  return "unknown";
+}
+
+inline const char* to_string(Stage s) {
+  switch (s) {
+    case Stage::kNone: return "none";
+    case Stage::kDraw: return "draw";
+    case Stage::kPrecondition: return "precondition";
+    case Stage::kProjection: return "projection";
+    case Stage::kCharpoly: return "charpoly";
+    case Stage::kNewtonToeplitz: return "newton-toeplitz";
+    case Stage::kGohbergSemencul: return "gohberg-semencul";
+    case Stage::kSolveFinish: return "solve-finish";
+    case Stage::kVerify: return "verify";
+    case Stage::kLift: return "lift";
+  }
+  return "unknown";
+}
+
+/// Outcome of an operation: success, or the first detected failure with its
+/// kind, stage, and a short human-readable detail.  Cheap to copy; the
+/// detail string is empty on the success path.
+class Status {
+ public:
+  Status() = default;
+
+  static Status Ok() { return Status(); }
+
+  static Status Fail(FailureKind kind, Stage stage, std::string detail = {}) {
+    Status st;
+    st.kind_ = kind;
+    st.stage_ = stage;
+    st.detail_ = std::move(detail);
+    return st;
+  }
+
+  /// A failure forced by the fault harness (util/fault.h).  It reports the
+  /// NATURAL kind of its site -- so the retry policy targets the same
+  /// component a real failure would -- and is flagged so Diag records can
+  /// tell synthetic failures from organic ones.
+  static Status Injected(FailureKind kind, Stage stage) {
+    Status st = Fail(kind, stage, "injected");
+    st.injected_ = true;
+    return st;
+  }
+
+  bool ok() const { return kind_ == FailureKind::kNone; }
+  FailureKind kind() const { return kind_; }
+  Stage stage() const { return stage_; }
+  bool injected() const { return injected_; }
+  const std::string& detail() const { return detail_; }
+
+  /// "<kind> at <stage>[: detail]" -- for logs and test failure messages.
+  std::string message() const {
+    if (ok()) return "ok";
+    std::string m = to_string(kind_);
+    m += " at ";
+    m += to_string(stage_);
+    if (!detail_.empty()) {
+      m += ": ";
+      m += detail_;
+    }
+    return m;
+  }
+
+ private:
+  FailureKind kind_ = FailureKind::kNone;
+  Stage stage_ = Stage::kNone;
+  bool injected_ = false;
+  std::string detail_;
+};
+
+/// Returns Ok when `cond` holds, the given failure otherwise -- the one-line
+/// precondition validator used by the public entry points in core/ so that
+/// release builds reject malformed inputs instead of invoking UB.
+inline Status Require(bool cond, FailureKind kind, Stage stage,
+                      const char* detail) {
+  return cond ? Status::Ok() : Status::Fail(kind, stage, detail);
+}
+
+/// A value or a Status -- the return type of the Status-threaded variants of
+/// APIs whose legacy form signals failure with an empty container/nullopt.
+template <class T>
+class StatusOr {
+ public:
+  StatusOr(T value)  // NOLINT(google-explicit-constructor): by design
+      : value_(std::move(value)) {}
+  StatusOr(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+  const T& value() const { return value_; }
+  T&& take() { return std::move(value_); }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+/// One attempt of a Las Vegas loop: what randomness it used (stage-split
+/// seeds, so a failure is reproducible in isolation), what was re-drawn
+/// relative to the previous attempt, how it failed, and what it cost.
+struct Diag {
+  FailureKind kind = FailureKind::kNone;
+  Stage stage = Stage::kNone;
+  int attempt = 0;                       ///< 1-based attempt index
+  std::uint64_t precondition_seed = 0;   ///< seed of the H/D stream
+  std::uint64_t projection_seed = 0;     ///< seed of the u/v stream
+  bool redrew_precondition = false;      ///< H, D freshly drawn this attempt
+  bool redrew_projection = false;        ///< u, v freshly drawn this attempt
+  bool injected = false;                 ///< failure came from util/fault.h
+  std::uint64_t sample_size = 0;         ///< |S| this attempt used
+  OpCounts ops;                          ///< field ops this attempt cost
+};
+
+}  // namespace kp::util

@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 #include "field/zp.h"
@@ -133,6 +134,90 @@ TEST(ExecutionContextTest, NestedRegionsRunSeriallyWithoutDeadlock) {
     pram::parallel_for(0, 100, [&](std::size_t) { sink.fetch_add(1); });
   });
   EXPECT_EQ(sink.load(), 800);
+}
+
+TEST(ExecutionContextTest, WorkerExceptionPropagatesToSubmitter) {
+  // The first exception thrown by any participant must surface on the
+  // submitting thread once the batch retires -- not crash a worker, not
+  // deadlock the waiters.
+  EXPECT_THROW(
+      pram::parallel_for(0, 256,
+                         [&](std::size_t i) {
+                           if (i == 97) throw std::runtime_error("boom");
+                         }),
+      std::runtime_error);
+}
+
+TEST(ExecutionContextTest, PoolStaysUsableAfterException) {
+  auto& ctx = pram::ExecutionContext::global();
+  std::atomic<int> sink{0};
+  pram::parallel_for(0, 64, [&](std::size_t) { sink.fetch_add(1); });
+  const auto started = ctx.threads_started();
+  EXPECT_THROW(pram::parallel_for(0, 256,
+                                  [&](std::size_t i) {
+                                    if (i % 3 == 0) {
+                                      throw std::runtime_error("boom");
+                                    }
+                                    sink.fetch_add(1);
+                                  }),
+               std::runtime_error);
+  // The pool is not poisoned: the next regions run normally on the SAME
+  // threads, cover every index, and still fold op counts back.
+  sink.store(0);
+  pram::parallel_for(0, 512, [&](std::size_t) { sink.fetch_add(1); });
+  EXPECT_EQ(sink.load(), 512);
+  EXPECT_EQ(ctx.threads_started(), started);
+
+  using F = field::Zp<1000003>;
+  F f;
+  util::Prng prng(11);
+  auto a = matrix::random_matrix(f, 96, 96, prng);
+  std::vector<F::Element> x(96);
+  for (auto& e : x) e = f.random(prng);
+  util::OpScope scope;
+  auto y = matrix::mat_vec(f, a, x);
+  EXPECT_GT(scope.counts().total(), 0u);
+  EXPECT_EQ(y.size(), 96u);
+}
+
+TEST(ExecutionContextTest, ExceptionPropagatesAtEveryWorkerCount) {
+  // The Las Vegas retry loops sit above throwing kernels; their behavior
+  // must be identical under 1, 2, and 8 workers.
+  auto& ctx = pram::ExecutionContext::global();
+  for (unsigned workers : {1u, 2u, 8u}) {
+    ctx.set_worker_limit(workers);
+    std::atomic<int> before{0};
+    EXPECT_THROW(pram::parallel_for(0, 64,
+                                    [&](std::size_t i) {
+                                      if (i == 40) throw std::logic_error("x");
+                                      before.fetch_add(1);
+                                    }),
+                 std::logic_error)
+        << workers << " workers";
+    // And the pool still serves the next region at this limit.
+    std::atomic<int> after{0};
+    pram::parallel_for(0, 64, [&](std::size_t) { after.fetch_add(1); });
+    EXPECT_EQ(after.load(), 64) << workers << " workers";
+  }
+  ctx.set_worker_limit(0);
+}
+
+TEST(ExecutionContextTest, NestedRegionExceptionPropagates) {
+  // A nested region runs serially on the issuing participant; its exception
+  // must travel through the outer batch to the outer submitter.
+  EXPECT_THROW(pram::parallel_for(0, 8,
+                                  [&](std::size_t i) {
+                                    pram::parallel_for(
+                                        0, 16, [&](std::size_t j) {
+                                          if (i == 3 && j == 7) {
+                                            throw std::runtime_error("inner");
+                                          }
+                                        });
+                                  }),
+               std::runtime_error);
+  std::atomic<int> sink{0};
+  pram::parallel_for(0, 32, [&](std::size_t) { sink.fetch_add(1); });
+  EXPECT_EQ(sink.load(), 32);
 }
 
 TEST(WorkDepthTest, SpanAndWorkAlgebra) {
