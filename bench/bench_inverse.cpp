@@ -47,7 +47,7 @@ int main() {
       for (int attempt = 0; attempt < 5; ++attempt) {
         std::vector<F::Element> rnd(inv.num_randoms());
         for (auto& e : rnd) e = f.sample(prng, 1u << 20);
-        auto res = inv.evaluate(f, a.data(), rnd);
+        auto res = inv.evaluate(f, {a.data().begin(), a.data().end()}, rnd);
         if (!res.ok) continue;  // unlucky draw
         bool good = true;
         for (std::size_t i = 0; i < n && good; ++i) {

@@ -13,6 +13,7 @@
 
 #include "core/solver.h"
 #include "field/reference.h"
+#include "field/simd.h"
 #include "field/zp.h"
 #include "matrix/matmul.h"
 #include "matrix/sparse.h"
@@ -265,6 +266,81 @@ int main() {
       (void)r;
     });
     add_row("kp_solve", n, ms_ref, ms_fast, cr.total(), match);
+  }
+
+  {
+    // SIMD dispatch-level ablation: the same fast kernels with the vector
+    // backend pinned to each level, timed against the forced-scalar kernel
+    // path (what this binary measured before the SIMD backend existed).
+    // Values are asserted bit-identical across levels -- the backend is
+    // invisible except in wall clock.
+    namespace simd = kp::field::simd;
+    const simd::SimdLevel max_level = simd::simd_max_level();
+    const std::size_t n = 4096;
+    const auto va = random_residues(p, n, 20);
+    const auto vb = random_residues(p, n, 21);
+    kp::poly::PolyRing<Fast> rf(fast, kp::poly::MulStrategy::kNtt);
+
+    struct Lvl {
+      const char* name;
+      simd::SimdLevel level;
+      bool ifma;
+    };
+    const Lvl levels[] = {
+        {"dot@scalar", simd::SimdLevel::kScalar, false},
+        {"dot@avx2", simd::SimdLevel::kAvx2, false},
+        {"dot@avx512", simd::SimdLevel::kAvx512, false},
+        {"dot@avx512+ifma", simd::SimdLevel::kAvx512, true},
+    };
+    double dot_scalar_ms = 0;
+    std::uint64_t dot_scalar_val = 0;
+    const int dot_iters = 4000;
+    for (const auto& l : levels) {
+      if (simd::set_simd_level(l.level) != l.level) continue;  // unavailable
+      simd::set_simd_ifma(l.ifma);
+      if (l.ifma && !simd::simd_ifma()) continue;  // no IFMA hardware
+      std::uint64_t sink = 0;
+      const double ms = time_ms([&] {
+        for (int it = 0; it < dot_iters; ++it) {
+          sink ^= kp::field::kernels::dot(fast, va.data(), vb.data(), n);
+        }
+      });
+      const std::uint64_t val =
+          kp::field::kernels::dot(fast, va.data(), vb.data(), n);
+      if (l.level == simd::SimdLevel::kScalar) {
+        dot_scalar_ms = ms;
+        dot_scalar_val = val;
+      }
+      const bool match = val == dot_scalar_val;
+      check(match, "simd ablation: dot value vs scalar kernel");
+      add_row(l.name, n, dot_scalar_ms, ms, static_cast<std::uint64_t>(n), match);
+      (void)sink;
+    }
+
+    const Lvl ntt_levels[] = {
+        {"ntt_mul@scalar", simd::SimdLevel::kScalar, false},
+        {"ntt_mul@avx2", simd::SimdLevel::kAvx2, false},
+        {"ntt_mul@avx512", simd::SimdLevel::kAvx512, false},
+    };
+    double ntt_scalar_ms = 0;
+    std::vector<std::uint64_t> ntt_scalar_prod;
+    const int ntt_iters = 40;
+    for (const auto& l : ntt_levels) {
+      if (simd::set_simd_level(l.level) != l.level) continue;
+      std::vector<std::uint64_t> prod;
+      const double ms = time_ms([&] {
+        for (int it = 0; it < ntt_iters; ++it) prod = rf.mul(va, vb);
+      });
+      if (l.level == simd::SimdLevel::kScalar) {
+        ntt_scalar_ms = ms;
+        ntt_scalar_prod = prod;
+      }
+      const bool match = prod == ntt_scalar_prod;
+      check(match, "simd ablation: ntt_mul value vs scalar kernel");
+      add_row(l.name, n, ntt_scalar_ms, ms, static_cast<std::uint64_t>(n), match);
+    }
+    simd::set_simd_level(max_level);
+    simd::set_simd_ifma(true);
   }
 
   table.print();

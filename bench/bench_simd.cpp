@@ -1,0 +1,234 @@
+// Per-dispatch-level ablation of the SIMD kernel backend (field/simd.h).
+//
+// Every kernel family (dot, sum, gather, batch_inverse, NTT product) is
+// timed with the backend pinned to each available level -- scalar, AVX2,
+// AVX-512, AVX-512+IFMA -- over the same inputs.  The bit-identity contract
+// is asserted in-bench: each row carries an FNV-1a checksum of the output
+// elements, and every level's checksum must equal the scalar kernel's.
+// Those checksums land in BENCH_simd.json, so a forced-scalar build
+// (-DKP_SIMD=OFF), a KP_SIMD=off environment, and the full SIMD build can
+// be diffed for byte-identical element checksums across configurations.
+//
+// Exits non-zero on any mismatch; timing is reported, never gated.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "field/kernels.h"
+#include "field/reference.h"
+#include "field/simd.h"
+#include "field/zp.h"
+#include "poly/ntt.h"
+#include "util/bench_json.h"
+#include "util/op_count.h"
+#include "util/prng.h"
+#include "util/tables.h"
+
+namespace {
+
+namespace simd = kp::field::simd;
+using Fast = kp::field::GFp;
+using simd::SimdLevel;
+
+int failures = 0;
+
+void check(bool ok, const char* what) {
+  if (!ok) {
+    std::printf("MISMATCH: %s\n", what);
+    ++failures;
+  }
+}
+
+/// Best-of-reps wall time of fn(), in milliseconds.
+template <class Fn>
+double time_ms(Fn&& fn, int reps = 3) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    kp::util::WallTimer t;
+    fn();
+    const double ms = t.elapsed_ms();
+    if (ms < best) best = ms;
+  }
+  return best;
+}
+
+std::vector<std::uint64_t> random_residues(std::uint64_t p, std::size_t n,
+                                           std::uint64_t seed) {
+  kp::util::Prng prng(seed);
+  std::vector<std::uint64_t> v(n);
+  for (auto& x : v) x = prng.below(p);
+  return v;
+}
+
+/// FNV-1a over the output residues: an order-sensitive element checksum.
+/// Identical across build configurations iff the elements are identical.
+std::uint64_t fnv1a(const std::uint64_t* a, std::size_t n) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= (a[i] >> (8 * b)) & 0xff;
+      h *= 1099511628211ULL;
+    }
+  }
+  return h;
+}
+
+/// The dispatch levels the ablation requests.  A level is skipped (not
+/// degraded) when the hardware or the build lacks it, so a forced-scalar
+/// build produces a scalar-only table with the same checksums.
+struct Lvl {
+  const char* name;
+  SimdLevel level;
+  bool ifma;
+};
+constexpr Lvl kLevels[] = {
+    {"scalar", SimdLevel::kScalar, false},
+    {"avx2", SimdLevel::kAvx2, false},
+    {"avx512", SimdLevel::kAvx512, false},
+    {"avx512+ifma", SimdLevel::kAvx512, true},
+};
+
+bool enter_level(const Lvl& l) {
+  if (simd::set_simd_level(l.level) != l.level) return false;
+  simd::set_simd_ifma(l.ifma);
+  if (l.ifma && !simd::simd_ifma()) return false;
+  // Non-IFMA rows on IFMA hardware must actually measure the 4-limb body.
+  return l.ifma == simd::simd_ifma();
+}
+
+}  // namespace
+
+int main() {
+  const std::uint64_t p = kp::field::kNttPrime;
+  Fast fast(p);
+  kp::util::BenchReport report("simd");
+  kp::util::Table table(
+      {"kernel", "level", "n", "ms", "speedup", "checksum", "match"});
+
+  // One output buffer per kernel family; the scalar row fixes the expected
+  // checksum, every later level must reproduce it.
+  auto add_row = [&](const char* kernel, const char* level, std::size_t n,
+                     double scalar_ms, double ms, std::uint64_t checksum,
+                     std::uint64_t scalar_checksum) {
+    const bool match = checksum == scalar_checksum;
+    check(match, kernel);
+    const double speedup = ms > 0 ? scalar_ms / ms : 0;
+    char hex[32];
+    std::snprintf(hex, sizeof hex, "%016llx",
+                  static_cast<unsigned long long>(checksum));
+    table.add_row({kernel, level, std::to_string(n),
+                   kp::util::Table::num(ms, 3), kp::util::Table::num(speedup, 2),
+                   hex, match ? "yes" : "NO"});
+    report.begin_row(kernel);
+    report.put("level", level);
+    report.put("n", n);
+    report.put("ms", ms);
+    report.put("speedup_vs_scalar", speedup);
+    report.put("checksum", std::string(hex));
+    report.put("match", match);
+  };
+
+  std::printf("SIMD dispatch-level ablation (p = %llu, max level %s%s)\n\n",
+              static_cast<unsigned long long>(p),
+              to_string(simd::simd_max_level()),
+              simd::simd_ifma() ? "+ifma" : "");
+
+  const std::size_t n = 4096;
+  const auto va = random_residues(p, n, 1);
+  const auto vb = random_residues(p, n, 2);
+  const auto x = random_residues(p, 4 * n, 3);
+  kp::util::Prng ip(4);
+  std::vector<std::size_t> col(n);
+  for (auto& c : col) c = ip.below(4 * n);
+  auto nz = random_residues(p, n, 5);
+  for (auto& v : nz) v |= 1;  // nonzero, for batch_inverse
+  kp::poly::PolyRing<Fast> ring(fast, kp::poly::MulStrategy::kNtt);
+
+  struct Fam {
+    const char* name;
+    int iters;
+  };
+  const Fam fams[] = {{"dot", 4000},        {"sum", 4000},
+                      {"dot_gather", 2000}, {"batch_inverse", 200},
+                      {"ntt_mul", 40}};
+
+  for (const auto& fam : fams) {
+    double scalar_ms = 0;
+    std::uint64_t scalar_sum = 0;
+    for (const auto& l : kLevels) {
+      if (!enter_level(l)) continue;
+      std::uint64_t sum = 0;
+      double ms = 0;
+      const std::string name = fam.name;
+      if (name == "dot") {
+        ms = time_ms([&] {
+          for (int it = 0; it < fam.iters; ++it) {
+            sum = kp::field::kernels::dot(fast, va.data(), vb.data(), n);
+          }
+        });
+      } else if (name == "sum") {
+        ms = time_ms([&] {
+          for (int it = 0; it < fam.iters; ++it) {
+            sum = kp::field::kernels::sum(fast, va.data(), n);
+          }
+        });
+      } else if (name == "dot_gather") {
+        ms = time_ms([&] {
+          for (int it = 0; it < fam.iters; ++it) {
+            sum = kp::field::kernels::dot_gather(fast, va.data(), col.data(),
+                                                 x.data(), n);
+          }
+        });
+      } else if (name == "batch_inverse") {
+        std::vector<std::uint64_t> buf;
+        ms = time_ms([&] {
+          for (int it = 0; it < fam.iters; ++it) {
+            buf = nz;
+            const auto st =
+                kp::field::kernels::batch_inverse(fast, buf.data(), n);
+            check(st.ok(), "batch_inverse status");
+          }
+        });
+        sum = fnv1a(buf.data(), buf.size());
+      } else {  // ntt_mul
+        std::vector<std::uint64_t> prod;
+        ms = time_ms([&] {
+          for (int it = 0; it < fam.iters; ++it) prod = ring.mul(va, vb);
+        });
+        sum = fnv1a(prod.data(), prod.size());
+      }
+      if (l.level == SimdLevel::kScalar) {
+        scalar_ms = ms;
+        scalar_sum = sum;
+      }
+      add_row(fam.name, l.name, n, scalar_ms, ms, sum, scalar_sum);
+    }
+  }
+
+  simd::set_simd_level(simd::simd_max_level());
+  simd::set_simd_ifma(true);
+
+  table.print();
+
+  const auto stats = simd::simd_stats();
+  std::printf(
+      "\nsimd_stats: level=%s ifma=%d dot=%llu sum=%llu gather=%llu "
+      "batch_inverse=%llu ntt=%llu pointwise=%llu scale=%llu\n",
+      stats.level, stats.ifma ? 1 : 0,
+      static_cast<unsigned long long>(stats.dot),
+      static_cast<unsigned long long>(stats.sum),
+      static_cast<unsigned long long>(stats.gather),
+      static_cast<unsigned long long>(stats.batch_inverse),
+      static_cast<unsigned long long>(stats.ntt),
+      static_cast<unsigned long long>(stats.pointwise),
+      static_cast<unsigned long long>(stats.scale));
+
+  report.write();
+  if (failures) {
+    std::printf("\n%d SIMD mismatch(es)\n", failures);
+    return 1;
+  }
+  std::printf("\nall levels bit-identical to the scalar kernel path\n");
+  return 0;
+}

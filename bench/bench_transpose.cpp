@@ -35,7 +35,7 @@ int main() {
     if (!f.is_zero(kp::matrix::det_gauss(f, a))) {
       std::vector<F::Element> b(n);
       for (auto& e : b) e = f.random(prng);
-      std::vector<F::Element> in(a.data());
+      std::vector<F::Element> in(a.data().begin(), a.data().end());
       std::vector<F::Element> xdummy(n, f.one());
       in.insert(in.end(), xdummy.begin(), xdummy.end());
       in.insert(in.end(), b.begin(), b.end());

@@ -40,7 +40,7 @@ int main() {
   std::vector<F::Element> x(n);
   for (auto& e : x) e = f.random(prng);
   auto b = kp::matrix::mat_vec(f, a, x);
-  std::vector<F::Element> in(a.data());
+  std::vector<F::Element> in(a.data().begin(), a.data().end());
   in.insert(in.end(), b.begin(), b.end());
 
   // Lucky evaluation: random leaves from a large sample set.

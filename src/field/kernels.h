@@ -35,8 +35,10 @@
 #include <vector>
 
 #include "field/fastmod.h"
+#include "field/simd.h"
 #include "field/zp.h"
 #include "util/op_count.h"
+#include "util/status.h"
 
 namespace kp::field {
 
@@ -93,6 +95,7 @@ std::uint64_t sum(const F& f, const std::uint64_t* a, std::size_t n) {
   if (n == 0) return 0;
   kp::util::count_adds(n - 1);
   const auto& bar = FieldKernels<F>::barrett(f);
+  if (std::uint64_t out; simd::sum(bar, a, n, &out)) return out;
   fastmod::u128 acc = 0;
   for (std::size_t i = 0; i < n; ++i) acc += a[i];
   return bar.reduce_full(acc);
@@ -108,6 +111,9 @@ std::uint64_t dot(const F& f, const std::uint64_t* a, const std::uint64_t* b,
   kp::util::count_muls(n);
   kp::util::count_adds(n - 1);
   const auto& bar = FieldKernels<F>::barrett(f);
+  if (sa == 1 && sb == 1) {
+    if (std::uint64_t out; simd::dot(bar, a, b, n, &out)) return out;
+  }
   const std::uint64_t cap = bar.dcap;
   fastmod::u128 acc = 0;
   std::uint64_t left = cap;
@@ -129,6 +135,19 @@ std::uint64_t dot_skip_zero(const F& f, const std::uint64_t* a,
                             const std::uint64_t* b, std::size_t n,
                             std::size_t sb = 1) {
   const auto& bar = FieldKernels<F>::barrett(f);
+  if (sb == 1) {
+    // Zeros contribute nothing to the accumulators, so the vector path runs
+    // the full dot body; nnz comes from a vector compare pass and is what
+    // the caller's branchy loop would have charged.
+    std::uint64_t out;
+    if (std::size_t nnz; simd::dot_skip_zero(bar, a, b, n, &out, &nnz)) {
+      if (nnz > 0) {
+        kp::util::count_muls(nnz);
+        kp::util::count_adds(nnz - 1);
+      }
+      return out;
+    }
+  }
   const std::uint64_t cap = bar.dcap;
   fastmod::u128 acc = 0;
   std::uint64_t left = cap;
@@ -159,6 +178,9 @@ std::uint64_t dot_gather(const F& f, const std::uint64_t* val,
   kp::util::count_muls(n);
   kp::util::count_adds(n);
   const auto& bar = FieldKernels<F>::barrett(f);
+  if (std::uint64_t out; simd::dot_gather(bar, val, col, x, n, &out)) {
+    return out;
+  }
   const std::uint64_t cap = bar.dcap;
   fastmod::u128 acc = 0;
   std::uint64_t left = cap;
@@ -176,25 +198,38 @@ std::uint64_t dot_gather(const F& f, const std::uint64_t* val,
 /// extended Euclid and 3(n-1) uncounted multiplies.  Charged as n logical
 /// divisions -- the same price as n calls to f.inv() -- and the field
 /// inverse is unique, so the values are bit-identical to the one-by-one
-/// path.  All entries must be nonzero (as the reference path asserts).
+/// path.  A zero entry is reported as kDivisionByZero (in every build mode)
+/// with the input left untouched; the pre-scan runs before any mutation so
+/// callers can propagate the failure without unwinding partial state.
 template <FastField F>
-void batch_inverse(const F& f, std::uint64_t* a, std::size_t n) {
-  if (n == 0) return;
+kp::util::Status batch_inverse(const F& f, std::uint64_t* a, std::size_t n) {
+  if (n == 0) return kp::util::Status::Ok();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a[i] == 0) {
+      return kp::util::Status::Fail(kp::util::FailureKind::kDivisionByZero,
+                                    kp::util::Stage::kNone,
+                                    "batch_inverse: zero element");
+    }
+  }
   kp::util::count_divs(n);
+  const auto& bar = FieldKernels<F>::barrett(f);
+  if (simd::batch_inverse(bar.p, a, n, &detail::invmod)) {
+    return kp::util::Status::Ok();
+  }
   std::vector<std::uint64_t> prefix(n);
   std::uint64_t acc = 1;  // p >= 2, so 1 is canonical
   for (std::size_t i = 0; i < n; ++i) {
-    assert(a[i] != 0 && "division by zero in batch_inverse");
     acc = mul_uncounted(f, acc, a[i]);
     prefix[i] = acc;
   }
-  std::uint64_t inv_suffix = detail::invmod(acc, FieldKernels<F>::barrett(f).p);
+  std::uint64_t inv_suffix = detail::invmod(acc, bar.p);
   for (std::size_t i = n; i-- > 1;) {
     const std::uint64_t inv_i = mul_uncounted(f, inv_suffix, prefix[i - 1]);
     inv_suffix = mul_uncounted(f, inv_suffix, a[i]);
     a[i] = inv_i;
   }
   a[0] = inv_suffix;
+  return kp::util::Status::Ok();
 }
 
 }  // namespace kernels

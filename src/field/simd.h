@@ -1,0 +1,1290 @@
+// Lane-parallel field-kernel backend with runtime CPU dispatch.
+//
+// This header sits BENEATH field/kernels.h: each entry point here is a
+// vectorized rendition of one delayed-reduction kernel (dot, sum, gathered
+// dot, zero-skipping dot, Montgomery batched inversion) or of one NTT hot
+// loop (Harvey lazy butterfly level, [0,4p) normalization, pointwise Barrett
+// product, Shoup scale).  Every function returns `true` only when it fully
+// handled the request with BIT-IDENTICAL results to the scalar path; callers
+// keep their scalar loop as the fallback, so a `false` return (unsupported
+// CPU, forced-scalar build, small n, strided operands) costs one branch.
+//
+// WHY BIT-IDENTITY IS FREE HERE: every kernel's contract is a canonical
+// residue in [0, p) (or, for the lazy butterflies, the exact same
+// representative in [0, 4p) the scalar wraparound arithmetic produces).
+// Canonical residues mod p are unique, so ANY accumulation order or limb
+// decomposition that is exact over the integers yields the same bytes; the
+// lazy butterfly is computed lane-by-lane with literally the same formula
+// (same mod-2^64 wraparounds) as the scalar loop.  Op accounting is owned by
+// the callers in field/kernels.h / poly/ntt.h and is untouched: SIMD is
+// invisible except in wall clock and the simd_stats() diagnostic.
+//
+// Dispatch levels (runtime, overridable):
+//   kScalar -- always available; every entry point returns false.
+//   kNeon   -- aarch64: 2x64 lanes via vmull_u32 limb products (dot, sum).
+//   kAvx2   -- x86-64: 4x64 lanes via _mm256_mul_epu32 odd/even splitting
+//              (dot, sum, zero-skipping dot).  For ~64-bit moduli AVX2 has
+//              no 64x64 multiplier, so the 4-limb scheme roughly ties the
+//              scalar mulx loop; it wins clearly for p <= 2^29.
+//   kAvx512 -- x86-64: 8x64 lanes (F+DQ for vpmullq); all entry points.
+//              With AVX-512 IFMA the dot kernels use 52-bit-split
+//              vpmadd52 accumulation, the fastest path for any p < 2^63.
+//
+// The level is detected once (cpuid via __builtin_cpu_supports), can be
+// capped by the KP_SIMD environment variable (off|scalar|neon|avx2|avx512),
+// and can be changed at runtime with set_simd_level() (the equivalence tests
+// sweep it).  A -DKP_SIMD=OFF CMake build defines KP_SIMD_DISABLED and folds
+// everything here to the `return false` stubs at compile time.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "field/fastmod.h"
+
+#if !defined(KP_SIMD_DISABLED) && (defined(__GNUC__) || defined(__clang__))
+#if defined(__x86_64__)
+#define KP_SIMD_X86 1
+#include <immintrin.h>
+#elif defined(__aarch64__)
+#define KP_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+#endif
+
+namespace kp::field::simd {
+
+using fastmod::u128;
+using fastmod::u64;
+
+/// Dispatch levels, ordered so that "walk down until available" degrades
+/// an unavailable request sensibly (avx512 -> avx2 -> scalar on x86).
+enum class SimdLevel : int { kScalar = 0, kNeon = 1, kAvx2 = 2, kAvx512 = 3 };
+
+inline const char* to_string(SimdLevel l) {
+  switch (l) {
+    case SimdLevel::kScalar: return "scalar";
+    case SimdLevel::kNeon: return "neon";
+    case SimdLevel::kAvx2: return "avx2";
+    case SimdLevel::kAvx512: return "avx512";
+  }
+  return "unknown";
+}
+
+/// Below this many elements the dispatch branch + tail handling cost more
+/// than the lanes recover; callers fall back to the scalar loop.
+inline constexpr std::size_t kMinSimdN = 32;
+
+namespace detail {
+
+inline bool level_supported(SimdLevel l) {
+  switch (l) {
+    case SimdLevel::kScalar:
+      return true;
+    case SimdLevel::kNeon:
+#if defined(KP_SIMD_NEON)
+      return true;
+#else
+      return false;
+#endif
+    case SimdLevel::kAvx2:
+#if defined(KP_SIMD_X86)
+      return __builtin_cpu_supports("avx2");
+#else
+      return false;
+#endif
+    case SimdLevel::kAvx512:
+#if defined(KP_SIMD_X86)
+      return __builtin_cpu_supports("avx512f") &&
+             __builtin_cpu_supports("avx512dq");
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+inline bool hw_ifma() {
+#if defined(KP_SIMD_X86)
+  return __builtin_cpu_supports("avx512ifma");
+#else
+  return false;
+#endif
+}
+
+/// Highest level this binary + CPU can run, before any override.
+inline SimdLevel detect_max_level() {
+  for (int l = static_cast<int>(SimdLevel::kAvx512); l > 0; --l) {
+    if (level_supported(static_cast<SimdLevel>(l))) {
+      return static_cast<SimdLevel>(l);
+    }
+  }
+  return SimdLevel::kScalar;
+}
+
+/// Walks the request down to the nearest supported level (never up).
+inline SimdLevel clamp_level(SimdLevel want) {
+  int l = static_cast<int>(want);
+  while (l > 0 && !level_supported(static_cast<SimdLevel>(l))) --l;
+  return static_cast<SimdLevel>(l);
+}
+
+/// KP_SIMD env override; anything unrecognized means "auto".
+inline SimdLevel env_level(SimdLevel fallback) {
+  const char* e = std::getenv("KP_SIMD");
+  if (e == nullptr) return fallback;
+  if (std::strcmp(e, "off") == 0 || std::strcmp(e, "scalar") == 0 ||
+      std::strcmp(e, "0") == 0) {
+    return SimdLevel::kScalar;
+  }
+  if (std::strcmp(e, "neon") == 0) return clamp_level(SimdLevel::kNeon);
+  if (std::strcmp(e, "avx2") == 0) return clamp_level(SimdLevel::kAvx2);
+  if (std::strcmp(e, "avx512") == 0) return clamp_level(SimdLevel::kAvx512);
+  return fallback;
+}
+
+struct Config {
+  std::atomic<int> level;
+  std::atomic<bool> ifma;
+};
+
+inline Config& config() {
+  static Config c{{static_cast<int>(env_level(detect_max_level()))},
+                  {hw_ifma()}};
+  return c;
+}
+
+/// Vector-group counters, one per kernel family.  Relaxed: they are a
+/// between-runs diagnostic, never part of any contract.
+struct StatCounters {
+  std::atomic<std::uint64_t> dot{0};
+  std::atomic<std::uint64_t> sum{0};
+  std::atomic<std::uint64_t> gather{0};
+  std::atomic<std::uint64_t> skip_zero{0};
+  std::atomic<std::uint64_t> batch_inverse{0};
+  std::atomic<std::uint64_t> ntt{0};
+  std::atomic<std::uint64_t> pointwise{0};
+  std::atomic<std::uint64_t> scale{0};
+};
+
+inline StatCounters& stat_counters() {
+  static StatCounters s;
+  return s;
+}
+
+inline void bump(std::atomic<std::uint64_t>& c, std::uint64_t groups) {
+  c.fetch_add(groups, std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+inline SimdLevel simd_max_level() { return detail::detect_max_level(); }
+
+inline SimdLevel simd_level() {
+#if defined(KP_SIMD_X86) || defined(KP_SIMD_NEON)
+  return static_cast<SimdLevel>(
+      detail::config().level.load(std::memory_order_relaxed));
+#else
+  return SimdLevel::kScalar;
+#endif
+}
+
+/// Requests a level; unavailable levels degrade downward (avx512 -> avx2 ->
+/// scalar).  Returns the level actually installed.  The equivalence tests
+/// sweep this; production code never needs to call it.
+inline SimdLevel set_simd_level(SimdLevel want) {
+  const SimdLevel got = detail::clamp_level(want);
+  detail::config().level.store(static_cast<int>(got),
+                               std::memory_order_relaxed);
+  return got;
+}
+
+/// Whether the AVX-512 dot kernels may use the IFMA (vpmadd52) path.
+inline bool simd_ifma() {
+#if defined(KP_SIMD_X86)
+  return detail::config().ifma.load(std::memory_order_relaxed);
+#else
+  return false;
+#endif
+}
+
+/// Test hook: force the non-IFMA AVX-512 dot bodies even on IFMA hardware
+/// (and-ed with hardware support, so enabling on non-IFMA CPUs is a no-op).
+inline void set_simd_ifma(bool on) {
+  detail::config().ifma.store(on && detail::hw_ifma(),
+                              std::memory_order_relaxed);
+}
+
+/// Snapshot of the dispatch state and how many vector groups (one group =
+/// one full-width register of lanes) each kernel family has processed.
+struct SimdStats {
+  const char* level = "scalar";
+  bool ifma = false;
+  std::uint64_t dot = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t gather = 0;
+  std::uint64_t skip_zero = 0;
+  std::uint64_t batch_inverse = 0;
+  std::uint64_t ntt = 0;
+  std::uint64_t pointwise = 0;
+  std::uint64_t scale = 0;
+};
+
+inline SimdStats simd_stats() {
+  auto& c = detail::stat_counters();
+  SimdStats s;
+  s.level = to_string(simd_level());
+  s.ifma = simd_ifma();
+  s.dot = c.dot.load(std::memory_order_relaxed);
+  s.sum = c.sum.load(std::memory_order_relaxed);
+  s.gather = c.gather.load(std::memory_order_relaxed);
+  s.skip_zero = c.skip_zero.load(std::memory_order_relaxed);
+  s.batch_inverse = c.batch_inverse.load(std::memory_order_relaxed);
+  s.ntt = c.ntt.load(std::memory_order_relaxed);
+  s.pointwise = c.pointwise.load(std::memory_order_relaxed);
+  s.scale = c.scale.load(std::memory_order_relaxed);
+  return s;
+}
+
+inline void reset_simd_stats() {
+  auto& c = detail::stat_counters();
+  c.dot.store(0, std::memory_order_relaxed);
+  c.sum.store(0, std::memory_order_relaxed);
+  c.gather.store(0, std::memory_order_relaxed);
+  c.skip_zero.store(0, std::memory_order_relaxed);
+  c.batch_inverse.store(0, std::memory_order_relaxed);
+  c.ntt.store(0, std::memory_order_relaxed);
+  c.pointwise.store(0, std::memory_order_relaxed);
+  c.scale.store(0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Shared scalar pieces: limb-accumulator recombination and tails.  These run
+// on the host ISA (no target attributes) and use the same Barrett
+// reduce_full the scalar kernels use, so the final canonical residue is the
+// unique one both paths agree on.
+
+namespace detail {
+
+/// Folds 4x32-bit-limb accumulator sums (weights 2^0, 2^32, 2^64, 2^96) plus
+/// a canonical running value into one canonical residue.  Each s_k is a sum
+/// over lanes of a 64-bit accumulator, so s_k < 2^64 * lanes <= 2^67 and
+/// every intermediate below fits u128.
+inline u64 fold_4limb(const fastmod::Barrett& bar, u128 s0, u128 s1, u128 s2,
+                      u128 s3, u64 acc) {
+  const u64 r_low = bar.reduce_full(s0 + (s1 << 32));
+  const u64 r_high = bar.reduce_full(
+      static_cast<u128>(bar.reduce_full(s2 + (s3 << 32))) << 64);
+  return bar.reduce_full(static_cast<u128>(acc) + r_low + r_high);
+}
+
+/// Folds 52-bit-split accumulator sums (weights 2^0, 2^52, 2^104).  The
+/// 2^104 weight is applied as two exact shifts by 52 with a reduction in
+/// between, since value << 104 could overflow u128.
+inline u64 fold_ifma(const fastmod::Barrett& bar, u128 s0, u128 s52, u128 s104,
+                     u64 acc) {
+  const u64 r0 = bar.reduce_full(s0);
+  const u64 r52 =
+      bar.reduce_full(static_cast<u128>(bar.reduce_full(s52)) << 52);
+  u64 r104 = bar.reduce_full(s104);
+  r104 = bar.reduce_full(static_cast<u128>(r104) << 52);
+  r104 = bar.reduce_full(static_cast<u128>(r104) << 52);
+  return bar.reduce_full(static_cast<u128>(acc) + r0 + r52 + r104);
+}
+
+/// Scalar delayed-reduction tail: folds a[i]*b[i], i in [i, n), into the
+/// canonical running value exactly as the scalar dot kernel would.
+inline u64 dot_tail(const fastmod::Barrett& bar, const u64* a, const u64* b,
+                    std::size_t i, std::size_t n, u64 acc) {
+  u128 t = acc;
+  u64 left = bar.dcap;
+  for (; i < n; ++i) {
+    t += static_cast<u128>(a[i]) * b[i];
+    if (--left == 0) {
+      t = bar.reduce_full(t);
+      left = bar.dcap;
+    }
+  }
+  return bar.reduce_full(t);
+}
+
+/// Moduli small enough for the single-multiplier small-p dot path: operands
+/// fit 32 bits exactly and a 64-bit lane accumulator holds >= 64 products.
+inline constexpr u64 kSmallPMax = u64{1} << 29;
+
+/// Max vector iterations between spills of the 4-limb accumulators: each
+/// iteration adds at most 3 * (2^32 - 1) to a limb accumulator.
+inline constexpr std::size_t kLimbBlock = std::size_t{1} << 29;
+
+/// Max vector iterations between spills of the 52-bit-split accumulators:
+/// each iteration adds < 2^52 to each accumulator, so 2^11 stays < 2^63.
+inline constexpr std::size_t kIfmaBlock = std::size_t{1} << 11;
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// x86-64 kernel bodies.
+
+#if defined(KP_SIMD_X86)
+
+// GCC's AVX-512 headers route many intrinsics through
+// _mm512_undefined_epi32(), which -Wmaybe-uninitialized flags at every
+// inline expansion site; the values are write-only merge operands.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#pragma GCC diagnostic ignored "-Wuninitialized"
+#endif
+
+namespace detail {
+
+#define KP_TGT_AVX2 __attribute__((target("avx2")))
+#define KP_TGT_AVX512 __attribute__((target("avx512f,avx512dq")))
+#define KP_TGT_AVX512IFMA __attribute__((target("avx512f,avx512dq,avx512ifma")))
+
+KP_TGT_AVX512 inline u128 hsum512(__m512i v) {
+  alignas(64) u64 t[8];
+  _mm512_store_si512(reinterpret_cast<__m512i*>(t), v);
+  u128 s = 0;
+  for (int k = 0; k < 8; ++k) s += t[k];
+  return s;
+}
+
+KP_TGT_AVX2 inline u128 hsum256(__m256i v) {
+  alignas(32) u64 t[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(t), v);
+  return static_cast<u128>(t[0]) + t[1] + t[2] + t[3];
+}
+
+/// Exact high 64 bits of a 64x64 product per lane, via four 32x32 partial
+/// products.  t = lo32(ll>>32 + lo32(lh) + lo32(hl)) cannot overflow: it is
+/// at most 3*(2^32-1) < 2^34.
+KP_TGT_AVX512 inline __m512i mulhi64_512(__m512i a, __m512i b) {
+  const __m512i m32 = _mm512_set1_epi64(0xffffffffLL);
+  const __m512i ah = _mm512_srli_epi64(a, 32);
+  const __m512i bh = _mm512_srli_epi64(b, 32);
+  const __m512i ll = _mm512_mul_epu32(a, b);
+  const __m512i lh = _mm512_mul_epu32(a, bh);
+  const __m512i hl = _mm512_mul_epu32(ah, b);
+  const __m512i hh = _mm512_mul_epu32(ah, bh);
+  const __m512i t = _mm512_add_epi64(
+      _mm512_srli_epi64(ll, 32),
+      _mm512_add_epi64(_mm512_and_si512(lh, m32), _mm512_and_si512(hl, m32)));
+  return _mm512_add_epi64(
+      _mm512_add_epi64(hh, _mm512_srli_epi64(t, 32)),
+      _mm512_add_epi64(_mm512_srli_epi64(lh, 32), _mm512_srli_epi64(hl, 32)));
+}
+
+// ---- dot bodies -----------------------------------------------------------
+
+/// 8x64 dot via the 52-bit split: a = lo52(a) + (a >> 52) * 2^52.  vpmadd52
+/// masks its operands to 52 bits internally, so the low half needs no
+/// explicit mask; the high half is < 2^11 for p < 2^63.  Seven multiply-adds
+/// per 8 lanes, each into its OWN accumulator (the 4-cycle vpmadd52 latency
+/// chain is the bottleneck otherwise), two independent 8-lane groups in
+/// flight per iteration.
+KP_TGT_AVX512IFMA inline u64 dot_ifma_512(const fastmod::Barrett& bar,
+                                          const u64* a, const u64* b,
+                                          std::size_t n) {
+  const __m512i zero = _mm512_setzero_si512();
+  u64 acc = 0;
+  std::size_t i = 0;
+  while (i + 16 <= n) {
+    std::size_t iters = (n - i) / 16;
+    if (iters > kIfmaBlock) iters = kIfmaBlock;
+    const std::size_t end = i + iters * 16;
+    __m512i w0a = zero, w52a0 = zero, w52a1 = zero, w52a2 = zero;
+    __m512i w104a0 = zero, w104a1 = zero, w104a2 = zero;
+    __m512i w0b = zero, w52b0 = zero, w52b1 = zero, w52b2 = zero;
+    __m512i w104b0 = zero, w104b1 = zero, w104b2 = zero;
+    for (; i < end; i += 16) {
+      const __m512i va = _mm512_loadu_si512(a + i);
+      const __m512i vb = _mm512_loadu_si512(b + i);
+      const __m512i va1 = _mm512_srli_epi64(va, 52);
+      const __m512i vb1 = _mm512_srli_epi64(vb, 52);
+      w0a = _mm512_madd52lo_epu64(w0a, va, vb);
+      w52a0 = _mm512_madd52hi_epu64(w52a0, va, vb);
+      w52a1 = _mm512_madd52lo_epu64(w52a1, va, vb1);
+      w52a2 = _mm512_madd52lo_epu64(w52a2, va1, vb);
+      w104a0 = _mm512_madd52hi_epu64(w104a0, va, vb1);
+      w104a1 = _mm512_madd52hi_epu64(w104a1, va1, vb);
+      w104a2 = _mm512_madd52lo_epu64(w104a2, va1, vb1);
+      const __m512i vc = _mm512_loadu_si512(a + i + 8);
+      const __m512i vd = _mm512_loadu_si512(b + i + 8);
+      const __m512i vc1 = _mm512_srli_epi64(vc, 52);
+      const __m512i vd1 = _mm512_srli_epi64(vd, 52);
+      w0b = _mm512_madd52lo_epu64(w0b, vc, vd);
+      w52b0 = _mm512_madd52hi_epu64(w52b0, vc, vd);
+      w52b1 = _mm512_madd52lo_epu64(w52b1, vc, vd1);
+      w52b2 = _mm512_madd52lo_epu64(w52b2, vc1, vd);
+      w104b0 = _mm512_madd52hi_epu64(w104b0, vc, vd1);
+      w104b1 = _mm512_madd52hi_epu64(w104b1, vc1, vd);
+      w104b2 = _mm512_madd52lo_epu64(w104b2, vc1, vd1);
+    }
+    const u128 s0 = hsum512(w0a) + hsum512(w0b);
+    const u128 s52 = hsum512(w52a0) + hsum512(w52a1) + hsum512(w52a2) +
+                     hsum512(w52b0) + hsum512(w52b1) + hsum512(w52b2);
+    const u128 s104 = hsum512(w104a0) + hsum512(w104a1) + hsum512(w104a2) +
+                      hsum512(w104b0) + hsum512(w104b1) + hsum512(w104b2);
+    acc = fold_ifma(bar, s0, s52, s104, acc);
+  }
+  return dot_tail(bar, a, b, i, n, acc);
+}
+
+/// 8x64 dot via 4 32-bit limbs per product (no 64-bit multiplier needed).
+KP_TGT_AVX512 inline u64 dot_4limb_512(const fastmod::Barrett& bar,
+                                       const u64* a, const u64* b,
+                                       std::size_t n) {
+  const __m512i m32 = _mm512_set1_epi64(0xffffffffLL);
+  const __m512i zero = _mm512_setzero_si512();
+  u64 acc = 0;
+  std::size_t i = 0;
+  while (i + 8 <= n) {
+    std::size_t iters = (n - i) / 8;
+    if (iters > kLimbBlock) iters = kLimbBlock;
+    const std::size_t end = i + iters * 8;
+    __m512i s0 = zero, s1 = zero, s2 = zero, s3 = zero;
+    for (; i < end; i += 8) {
+      const __m512i va = _mm512_loadu_si512(a + i);
+      const __m512i vb = _mm512_loadu_si512(b + i);
+      const __m512i ah = _mm512_srli_epi64(va, 32);
+      const __m512i bh = _mm512_srli_epi64(vb, 32);
+      const __m512i ll = _mm512_mul_epu32(va, vb);
+      const __m512i lh = _mm512_mul_epu32(va, bh);
+      const __m512i hl = _mm512_mul_epu32(ah, vb);
+      const __m512i hh = _mm512_mul_epu32(ah, bh);
+      s0 = _mm512_add_epi64(s0, _mm512_and_si512(ll, m32));
+      s1 = _mm512_add_epi64(
+          s1, _mm512_add_epi64(_mm512_srli_epi64(ll, 32),
+                               _mm512_add_epi64(_mm512_and_si512(lh, m32),
+                                                _mm512_and_si512(hl, m32))));
+      s2 = _mm512_add_epi64(
+          s2, _mm512_add_epi64(_mm512_and_si512(hh, m32),
+                               _mm512_add_epi64(_mm512_srli_epi64(lh, 32),
+                                                _mm512_srli_epi64(hl, 32))));
+      s3 = _mm512_add_epi64(s3, _mm512_srli_epi64(hh, 32));
+    }
+    acc = fold_4limb(bar, hsum512(s0), hsum512(s1), hsum512(s2), hsum512(s3),
+                     acc);
+  }
+  return dot_tail(bar, a, b, i, n, acc);
+}
+
+/// 8x64 dot for p <= 2^29: operands fit 32 bits, one vpmuludq per 8 lanes,
+/// and a 64-bit lane accumulator holds >= 64 products between spills.
+KP_TGT_AVX512 inline u64 dot_smallp_512(const fastmod::Barrett& bar,
+                                        const u64* a, const u64* b,
+                                        std::size_t n) {
+  const u64 cap = ~u64{0} / ((bar.p - 1) * (bar.p - 1));
+  u64 acc = 0;
+  std::size_t i = 0;
+  while (i + 8 <= n) {
+    std::size_t iters = (n - i) / 8;
+    if (iters > cap) iters = cap;
+    const std::size_t end = i + iters * 8;
+    __m512i s = _mm512_setzero_si512();
+    for (; i < end; i += 8) {
+      s = _mm512_add_epi64(s, _mm512_mul_epu32(_mm512_loadu_si512(a + i),
+                                               _mm512_loadu_si512(b + i)));
+    }
+    acc = bar.reduce_full(static_cast<u128>(acc) + hsum512(s));
+  }
+  return dot_tail(bar, a, b, i, n, acc);
+}
+
+/// 4x64 dot, 4-limb scheme (see dot_4limb_512).
+KP_TGT_AVX2 inline u64 dot_4limb_256(const fastmod::Barrett& bar, const u64* a,
+                                     const u64* b, std::size_t n) {
+  const __m256i m32 = _mm256_set1_epi64x(0xffffffffLL);
+  const __m256i zero = _mm256_setzero_si256();
+  u64 acc = 0;
+  std::size_t i = 0;
+  while (i + 4 <= n) {
+    std::size_t iters = (n - i) / 4;
+    if (iters > kLimbBlock) iters = kLimbBlock;
+    const std::size_t end = i + iters * 4;
+    __m256i s0 = zero, s1 = zero, s2 = zero, s3 = zero;
+    for (; i < end; i += 4) {
+      const __m256i va =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+      const __m256i vb =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+      const __m256i ah = _mm256_srli_epi64(va, 32);
+      const __m256i bh = _mm256_srli_epi64(vb, 32);
+      const __m256i ll = _mm256_mul_epu32(va, vb);
+      const __m256i lh = _mm256_mul_epu32(va, bh);
+      const __m256i hl = _mm256_mul_epu32(ah, vb);
+      const __m256i hh = _mm256_mul_epu32(ah, bh);
+      s0 = _mm256_add_epi64(s0, _mm256_and_si256(ll, m32));
+      s1 = _mm256_add_epi64(
+          s1, _mm256_add_epi64(_mm256_srli_epi64(ll, 32),
+                               _mm256_add_epi64(_mm256_and_si256(lh, m32),
+                                                _mm256_and_si256(hl, m32))));
+      s2 = _mm256_add_epi64(
+          s2, _mm256_add_epi64(_mm256_and_si256(hh, m32),
+                               _mm256_add_epi64(_mm256_srli_epi64(lh, 32),
+                                                _mm256_srli_epi64(hl, 32))));
+      s3 = _mm256_add_epi64(s3, _mm256_srli_epi64(hh, 32));
+    }
+    acc = fold_4limb(bar, hsum256(s0), hsum256(s1), hsum256(s2), hsum256(s3),
+                     acc);
+  }
+  return dot_tail(bar, a, b, i, n, acc);
+}
+
+/// 4x64 dot for p <= 2^29 (see dot_smallp_512).
+KP_TGT_AVX2 inline u64 dot_smallp_256(const fastmod::Barrett& bar,
+                                      const u64* a, const u64* b,
+                                      std::size_t n) {
+  const u64 cap = ~u64{0} / ((bar.p - 1) * (bar.p - 1));
+  u64 acc = 0;
+  std::size_t i = 0;
+  while (i + 4 <= n) {
+    std::size_t iters = (n - i) / 4;
+    if (iters > cap) iters = cap;
+    const std::size_t end = i + iters * 4;
+    __m256i s = _mm256_setzero_si256();
+    for (; i < end; i += 4) {
+      s = _mm256_add_epi64(
+          s, _mm256_mul_epu32(
+                 _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i)),
+                 _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i))));
+    }
+    acc = bar.reduce_full(static_cast<u128>(acc) + hsum256(s));
+  }
+  return dot_tail(bar, a, b, i, n, acc);
+}
+
+/// Internal dot dispatch shared by dot and dot_skip_zero (no stats/threshold
+/// here; the public wrappers own those).  Level must be >= kAvx2.
+inline u64 dot_dispatch(SimdLevel lvl, const fastmod::Barrett& bar,
+                        const u64* a, const u64* b, std::size_t n) {
+  if (lvl == SimdLevel::kAvx512) {
+    if (bar.p <= kSmallPMax) return dot_smallp_512(bar, a, b, n);
+    if (simd_ifma()) return dot_ifma_512(bar, a, b, n);
+    return dot_4limb_512(bar, a, b, n);
+  }
+  if (bar.p <= kSmallPMax) return dot_smallp_256(bar, a, b, n);
+  return dot_4limb_256(bar, a, b, n);
+}
+
+// ---- sum bodies -----------------------------------------------------------
+
+/// 8x64 sum with per-lane lo/hi carry tracking: residues are < 2^63, so
+/// lane wraps are exact and counted; the recombined total fits u128 for any
+/// realizable n.
+KP_TGT_AVX512 inline u64 sum_512(const fastmod::Barrett& bar, const u64* a,
+                                 std::size_t n) {
+  __m512i lo = _mm512_setzero_si512();
+  __m512i hi = _mm512_setzero_si512();
+  const __m512i one = _mm512_set1_epi64(1);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i x = _mm512_loadu_si512(a + i);
+    lo = _mm512_add_epi64(lo, x);
+    const __mmask8 c = _mm512_cmplt_epu64_mask(lo, x);
+    hi = _mm512_mask_add_epi64(hi, c, hi, one);
+  }
+  u128 t = hsum512(lo) + (hsum512(hi) << 64);
+  for (; i < n; ++i) t += a[i];
+  return bar.reduce_full(t);
+}
+
+/// 4x64 sum; AVX2 lacks unsigned compares, so the wrap test flips signs.
+KP_TGT_AVX2 inline u64 sum_256(const fastmod::Barrett& bar, const u64* a,
+                               std::size_t n) {
+  __m256i lo = _mm256_setzero_si256();
+  __m256i hi = _mm256_setzero_si256();
+  const __m256i sign = _mm256_set1_epi64x(
+      static_cast<long long>(0x8000000000000000ULL));
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    lo = _mm256_add_epi64(lo, x);
+    // wrapped iff new lo < x (unsigned): compare with the sign bit flipped.
+    const __m256i wrapped = _mm256_cmpgt_epi64(_mm256_xor_si256(x, sign),
+                                               _mm256_xor_si256(lo, sign));
+    hi = _mm256_sub_epi64(hi, wrapped);  // wrapped lanes are -1
+  }
+  u128 t = hsum256(lo) + (hsum256(hi) << 64);
+  for (; i < n; ++i) t += a[i];
+  return bar.reduce_full(t);
+}
+
+// ---- gathered dot ---------------------------------------------------------
+
+/// 8x64 gathered dot: contiguous val loads, x gathered through col.  Uses
+/// the 4-limb product scheme; the gather, not the multiply, dominates.
+KP_TGT_AVX512 inline u64 dot_gather_512(const fastmod::Barrett& bar,
+                                        const u64* val, const std::size_t* col,
+                                        const u64* x, std::size_t n) {
+  static_assert(sizeof(std::size_t) == sizeof(u64),
+                "i64 gather needs 64-bit indices");
+  const __m512i m32 = _mm512_set1_epi64(0xffffffffLL);
+  const __m512i zero = _mm512_setzero_si512();
+  u64 acc = 0;
+  std::size_t i = 0;
+  while (i + 8 <= n) {
+    std::size_t iters = (n - i) / 8;
+    if (iters > kLimbBlock) iters = kLimbBlock;
+    const std::size_t end = i + iters * 8;
+    __m512i s0 = zero, s1 = zero, s2 = zero, s3 = zero;
+    for (; i < end; i += 8) {
+      const __m512i va = _mm512_loadu_si512(val + i);
+      const __m512i idx = _mm512_loadu_si512(col + i);
+      const __m512i vb = _mm512_i64gather_epi64(idx, x, 8);
+      const __m512i ah = _mm512_srli_epi64(va, 32);
+      const __m512i bh = _mm512_srli_epi64(vb, 32);
+      const __m512i ll = _mm512_mul_epu32(va, vb);
+      const __m512i lh = _mm512_mul_epu32(va, bh);
+      const __m512i hl = _mm512_mul_epu32(ah, vb);
+      const __m512i hh = _mm512_mul_epu32(ah, bh);
+      s0 = _mm512_add_epi64(s0, _mm512_and_si512(ll, m32));
+      s1 = _mm512_add_epi64(
+          s1, _mm512_add_epi64(_mm512_srli_epi64(ll, 32),
+                               _mm512_add_epi64(_mm512_and_si512(lh, m32),
+                                                _mm512_and_si512(hl, m32))));
+      s2 = _mm512_add_epi64(
+          s2, _mm512_add_epi64(_mm512_and_si512(hh, m32),
+                               _mm512_add_epi64(_mm512_srli_epi64(lh, 32),
+                                                _mm512_srli_epi64(hl, 32))));
+      s3 = _mm512_add_epi64(s3, _mm512_srli_epi64(hh, 32));
+    }
+    acc = fold_4limb(bar, hsum512(s0), hsum512(s1), hsum512(s2), hsum512(s3),
+                     acc);
+  }
+  u128 t = acc;
+  u64 left = bar.dcap;
+  for (; i < n; ++i) {
+    t += static_cast<u128>(val[i]) * x[col[i]];
+    if (--left == 0) {
+      t = bar.reduce_full(t);
+      left = bar.dcap;
+    }
+  }
+  return bar.reduce_full(t);
+}
+
+// ---- nonzero counting (for dot_skip_zero's accounting) --------------------
+
+KP_TGT_AVX512 inline std::size_t count_nonzero_512(const u64* a,
+                                                   std::size_t n) {
+  const __m512i zero = _mm512_setzero_si512();
+  std::size_t nnz = 0, i = 0;
+  for (; i + 8 <= n; i += 8) {
+    nnz += static_cast<std::size_t>(__builtin_popcount(
+        _mm512_cmpneq_epu64_mask(_mm512_loadu_si512(a + i), zero)));
+  }
+  for (; i < n; ++i) nnz += (a[i] != 0);
+  return nnz;
+}
+
+KP_TGT_AVX2 inline std::size_t count_nonzero_256(const u64* a, std::size_t n) {
+  const __m256i zero = _mm256_setzero_si256();
+  std::size_t zeros = 0, i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i eq = _mm256_cmpeq_epi64(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i)), zero);
+    zeros += static_cast<std::size_t>(
+        __builtin_popcount(static_cast<unsigned>(
+            _mm256_movemask_pd(_mm256_castsi256_pd(eq)))));
+  }
+  std::size_t nnz = i - zeros;
+  for (; i < n; ++i) nnz += (a[i] != 0);
+  return nnz;
+}
+
+// ---- vector Montgomery (batch_inverse) ------------------------------------
+
+/// REDC of per-lane 128-bit values (hi:lo), canonical output in [0, p).
+/// The low words of t + m*p cancel exactly, so the carry into the high word
+/// is 1 iff t_lo != 0.
+KP_TGT_AVX512 inline __m512i redc_512(__m512i t_hi, __m512i t_lo, __m512i vp,
+                                      __m512i vnp) {
+  const __m512i m = _mm512_mullo_epi64(t_lo, vnp);
+  const __m512i mp_hi = mulhi64_512(m, vp);
+  const __mmask8 carry = _mm512_test_epi64_mask(t_lo, t_lo);
+  __m512i r = _mm512_add_epi64(t_hi, mp_hi);
+  r = _mm512_mask_add_epi64(r, carry, r, _mm512_set1_epi64(1));
+  // r < 2p: unsigned-min conditional subtract (r - p wraps when r < p).
+  return _mm512_min_epu64(r, _mm512_sub_epi64(r, vp));
+}
+
+/// Product of Montgomery-form lanes, in Montgomery form.
+KP_TGT_AVX512 inline __m512i mont_mul_512(__m512i a, __m512i b, __m512i vp,
+                                          __m512i vnp) {
+  return redc_512(mulhi64_512(a, b), _mm512_mullo_epi64(a, b), vp, vnp);
+}
+
+/// Lane-blocked Montgomery-trick inversion: lane l owns elements
+/// a[l], a[8+l], ...; per-lane prefix-product chains run vectorized, the 8
+/// lane totals are combined with ONE extended Euclid (via `inv`), and the
+/// backward pass is vectorized again.  Field inverses are unique, so the
+/// values are bit-identical to the scalar trick.  Requires odd p and
+/// nonzero entries (the caller pre-scans).
+KP_TGT_AVX512 inline void batch_inverse_512(const fastmod::Montgomery& mont,
+                                            u64* a, std::size_t n,
+                                            u64 (*inv)(u64, u64)) {
+  const std::size_t k_count = n / 8;   // full vector positions
+  const std::size_t n8 = k_count * 8;  // elements covered by the vector part
+  const __m512i vp = _mm512_set1_epi64(static_cast<long long>(mont.p));
+  const __m512i vnp = _mm512_set1_epi64(static_cast<long long>(mont.np));
+  const __m512i vr2 = _mm512_set1_epi64(static_cast<long long>(mont.r2));
+  const __m512i zero = _mm512_setzero_si512();
+
+  std::vector<u64> am(n8), prefix(n8);
+  __m512i run = zero;
+  for (std::size_t k = 0; k < k_count; ++k) {
+    const __m512i va = _mm512_loadu_si512(a + k * 8);
+    const __m512i m = mont_mul_512(va, vr2, vp, vnp);  // to Montgomery form
+    _mm512_storeu_si512(am.data() + k * 8, m);
+    run = (k == 0) ? m : mont_mul_512(run, m, vp, vnp);
+    _mm512_storeu_si512(prefix.data() + k * 8, run);
+  }
+
+  // Combine the 8 lane totals (Montgomery domain throughout) with one Euclid.
+  alignas(64) u64 lane_total[8];
+  _mm512_store_si512(reinterpret_cast<__m512i*>(lane_total), run);
+  u64 lane_prefix[8];
+  lane_prefix[0] = lane_total[0];
+  for (int l = 1; l < 8; ++l) {
+    lane_prefix[l] = mont.mul_mont(lane_prefix[l - 1], lane_total[l]);
+  }
+  const u64 total = mont.from_mont(lane_prefix[7]);
+  u64 inv_run = mont.to_mont(inv(total, mont.p));
+  alignas(64) u64 lane_inv[8];
+  for (int l = 7; l >= 0; --l) {
+    lane_inv[l] = (l > 0) ? mont.mul_mont(inv_run, lane_prefix[l - 1])
+                          : inv_run;
+    inv_run = mont.mul_mont(inv_run, lane_total[l]);
+  }
+
+  // Vector backward pass: per-lane running suffix inverses.
+  __m512i inv_suffix =
+      _mm512_load_si512(reinterpret_cast<const __m512i*>(lane_inv));
+  for (std::size_t k = k_count; k-- > 1;) {
+    const __m512i pm = _mm512_loadu_si512(prefix.data() + (k - 1) * 8);
+    const __m512i inv_elem = mont_mul_512(inv_suffix, pm, vp, vnp);
+    const __m512i mk = _mm512_loadu_si512(am.data() + k * 8);
+    inv_suffix = mont_mul_512(inv_suffix, mk, vp, vnp);
+    _mm512_storeu_si512(a + k * 8, redc_512(zero, inv_elem, vp, vnp));
+  }
+  _mm512_storeu_si512(a, redc_512(zero, inv_suffix, vp, vnp));
+
+  // Scalar Montgomery trick for the n % 8 tail (one more Euclid; inverses
+  // are unique, so grouping does not affect the values).
+  if (n8 < n) {
+    u64 tail_prefix[8];
+    u64 racc = 0;
+    for (std::size_t i = n8; i < n; ++i) {
+      racc = (i == n8) ? a[i] : mont.mul(racc, a[i]);
+      tail_prefix[i - n8] = racc;
+    }
+    u64 inv_suf = inv(racc, mont.p);
+    for (std::size_t i = n; i-- > n8 + 1;) {
+      const u64 inv_i = mont.mul(inv_suf, tail_prefix[i - n8 - 1]);
+      inv_suf = mont.mul(inv_suf, a[i]);
+      a[i] = inv_i;
+    }
+    a[n8] = inv_suf;
+  }
+}
+
+// ---- NTT bodies -----------------------------------------------------------
+
+/// One Harvey lazy butterfly on 8 lanes: identical mod-2^64 arithmetic to
+/// the scalar shoup_mul_lazy path, so even the [0, 4p) intermediates match.
+KP_TGT_AVX512 inline void butterfly_8(u64* lo, u64* hi, const u64* tw,
+                                      const u64* twq, __m512i vp,
+                                      __m512i vp2) {
+  __m512i u = _mm512_loadu_si512(lo);
+  const __m512i h = _mm512_loadu_si512(hi);
+  const __m512i w = _mm512_loadu_si512(tw);
+  const __m512i wq = _mm512_loadu_si512(twq);
+  u = _mm512_min_epu64(u, _mm512_sub_epi64(u, vp2));  // u >= 2p ? u - 2p : u
+  const __m512i q = mulhi64_512(h, wq);
+  const __m512i v = _mm512_sub_epi64(_mm512_mullo_epi64(h, w),
+                                     _mm512_mullo_epi64(q, vp));
+  _mm512_storeu_si512(lo, _mm512_add_epi64(u, v));
+  _mm512_storeu_si512(hi, _mm512_sub_epi64(_mm512_add_epi64(u, vp2), v));
+}
+
+inline void butterfly_1(u64* lo, u64* hi, u64 w, u64 wq, u64 p, u64 p2) {
+  u64 u = *lo;
+  if (u >= p2) u -= p2;
+  const u64 v = fastmod::shoup_mul_lazy(*hi, w, wq, p);
+  *lo = u + v;
+  *hi = u + p2 - v;
+}
+
+/// vpermt2q tables for the small-half levels (half = 1, 2, 4): 16
+/// consecutive elements hold 16/(2*half) whole blocks; one permute pair
+/// splits them into an 8-lane lo vector and an 8-lane hi vector, and the
+/// store tables invert the shuffle.  Indexed by log2(half).
+alignas(64) inline constexpr u64 kLoadLo[3][8] = {
+    {0, 2, 4, 6, 8, 10, 12, 14},
+    {0, 1, 4, 5, 8, 9, 12, 13},
+    {0, 1, 2, 3, 8, 9, 10, 11},
+};
+alignas(64) inline constexpr u64 kLoadHi[3][8] = {
+    {1, 3, 5, 7, 9, 11, 13, 15},
+    {2, 3, 6, 7, 10, 11, 14, 15},
+    {4, 5, 6, 7, 12, 13, 14, 15},
+};
+alignas(64) inline constexpr u64 kStore0[3][8] = {
+    {0, 8, 1, 9, 2, 10, 3, 11},
+    {0, 1, 8, 9, 2, 3, 10, 11},
+    {0, 1, 2, 3, 8, 9, 10, 11},
+};
+alignas(64) inline constexpr u64 kStore1[3][8] = {
+    {4, 12, 5, 13, 6, 14, 7, 15},
+    {4, 5, 12, 13, 6, 7, 14, 15},
+    {4, 5, 6, 7, 12, 13, 14, 15},
+};
+
+/// Lazy butterflies for flat indices [b0, b1) of a level with half >= 8:
+/// blocks are walked exactly like the scalar chunk body, with 8-lane
+/// butterflies inside each block segment and scalar lanes for remainders.
+KP_TGT_AVX512 inline void ntt_level_big_512(u64* d, const u64* tw,
+                                            const u64* twq, std::size_t half,
+                                            std::size_t b0, std::size_t b1,
+                                            u64 p) {
+  const u64 p2 = 2 * p;
+  const __m512i vp = _mm512_set1_epi64(static_cast<long long>(p));
+  const __m512i vp2 = _mm512_set1_epi64(static_cast<long long>(p2));
+  const std::size_t len = 2 * half;
+  std::size_t b = b0;
+  while (b < b1) {
+    const std::size_t block = b / half;
+    const std::size_t j0 = b - block * half;
+    const std::size_t j1 = j0 + (b1 - b) < half ? j0 + (b1 - b) : half;
+    u64* lo = d + block * len;
+    u64* hi = lo + half;
+    std::size_t j = j0;
+    for (; j + 8 <= j1; j += 8) {
+      butterfly_8(lo + j, hi + j, tw + j, twq + j, vp, vp2);
+    }
+    for (; j < j1; ++j) butterfly_1(lo + j, hi + j, tw[j], twq[j], p, p2);
+    b += j1 - j0;
+  }
+}
+
+/// Lazy butterflies for half in {1, 2, 4}: whole 16-element (= 8-butterfly)
+/// groups go through the permute tables; the sub-group tail falls back to
+/// scalar blocks.  Requires b0 and b1 to be multiples of half (the chunk
+/// grain is a power of two >= 8, so dispatch_chunks guarantees this).
+KP_TGT_AVX512 inline void ntt_level_small_512(u64* d, const u64* tw,
+                                              const u64* twq, std::size_t half,
+                                              std::size_t b0, std::size_t b1,
+                                              u64 p) {
+  const u64 p2 = 2 * p;
+  const __m512i vp = _mm512_set1_epi64(static_cast<long long>(p));
+  const __m512i vp2 = _mm512_set1_epi64(static_cast<long long>(p2));
+  const int lg = half == 1 ? 0 : (half == 2 ? 1 : 2);
+  const __m512i load_lo =
+      _mm512_load_si512(reinterpret_cast<const __m512i*>(kLoadLo[lg]));
+  const __m512i load_hi =
+      _mm512_load_si512(reinterpret_cast<const __m512i*>(kLoadHi[lg]));
+  const __m512i store0 =
+      _mm512_load_si512(reinterpret_cast<const __m512i*>(kStore0[lg]));
+  const __m512i store1 =
+      _mm512_load_si512(reinterpret_cast<const __m512i*>(kStore1[lg]));
+  alignas(64) u64 twp[8], twqp[8];
+  for (std::size_t j = 0; j < 8; ++j) {
+    twp[j] = tw[j % half];
+    twqp[j] = twq[j % half];
+  }
+  const __m512i w = _mm512_load_si512(reinterpret_cast<const __m512i*>(twp));
+  const __m512i wq = _mm512_load_si512(reinterpret_cast<const __m512i*>(twqp));
+
+  std::size_t e = 2 * b0;
+  const std::size_t e_end = 2 * b1;
+  for (; e + 16 <= e_end; e += 16) {
+    const __m512i z0 = _mm512_loadu_si512(d + e);
+    const __m512i z1 = _mm512_loadu_si512(d + e + 8);
+    __m512i u = _mm512_permutex2var_epi64(z0, load_lo, z1);
+    const __m512i h = _mm512_permutex2var_epi64(z0, load_hi, z1);
+    u = _mm512_min_epu64(u, _mm512_sub_epi64(u, vp2));
+    const __m512i q = mulhi64_512(h, wq);
+    const __m512i v = _mm512_sub_epi64(_mm512_mullo_epi64(h, w),
+                                       _mm512_mullo_epi64(q, vp));
+    const __m512i nlo = _mm512_add_epi64(u, v);
+    const __m512i nhi = _mm512_sub_epi64(_mm512_add_epi64(u, vp2), v);
+    _mm512_storeu_si512(d + e, _mm512_permutex2var_epi64(nlo, store0, nhi));
+    _mm512_storeu_si512(d + e + 8,
+                        _mm512_permutex2var_epi64(nlo, store1, nhi));
+  }
+  for (; e < e_end; e += 2 * half) {  // remaining whole blocks, scalar
+    for (std::size_t j = 0; j < half; ++j) {
+      butterfly_1(d + e + j, d + e + half + j, tw[j], twq[j], p, p2);
+    }
+  }
+}
+
+/// [0, 4p) -> [0, p) normalization, 8 lanes per step.
+KP_TGT_AVX512 inline void normalize4p_512(u64* x, std::size_t n, u64 p) {
+  const __m512i vp = _mm512_set1_epi64(static_cast<long long>(p));
+  const __m512i vp2 = _mm512_set1_epi64(static_cast<long long>(2 * p));
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m512i v = _mm512_loadu_si512(x + i);
+    v = _mm512_min_epu64(v, _mm512_sub_epi64(v, vp2));
+    v = _mm512_min_epu64(v, _mm512_sub_epi64(v, vp));
+    _mm512_storeu_si512(x + i, v);
+  }
+  for (; i < n; ++i) {
+    u64 v = x[i];
+    if (v >= 2 * p) v -= 2 * p;
+    if (v >= p) v -= p;
+    x[i] = v;
+  }
+}
+
+/// c[i] = c[i] * b[i] mod p, canonical, via the vector Moller-Granlund
+/// reduction -- the lane-wise transcription of Barrett::reduce on the exact
+/// 128-bit product, so every mod-2^64 wrap matches the scalar code.
+KP_TGT_AVX512 inline void pointwise_512(const fastmod::Barrett& bar, u64* c,
+                                        const u64* b, std::size_t n) {
+  const __m128i sh = _mm_cvtsi32_si128(static_cast<int>(bar.shift));
+  const __m128i shc = _mm_cvtsi32_si128(static_cast<int>(64 - bar.shift));
+  const __m512i vv = _mm512_set1_epi64(static_cast<long long>(bar.v));
+  const __m512i vd = _mm512_set1_epi64(static_cast<long long>(bar.d));
+  const __m512i one = _mm512_set1_epi64(1);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i x = _mm512_loadu_si512(c + i);
+    const __m512i y = _mm512_loadu_si512(b + i);
+    const __m512i t_hi = mulhi64_512(x, y);
+    const __m512i t_lo = _mm512_mullo_epi64(x, y);
+    // Normalize the dividend: (nh:nl) = (t_hi:t_lo) << shift (shift >= 1
+    // for any p < 2^63).
+    const __m512i nh = _mm512_or_si512(_mm512_sll_epi64(t_hi, sh),
+                                       _mm512_srl_epi64(t_lo, shc));
+    const __m512i nl = _mm512_sll_epi64(t_lo, sh);
+    const __m512i qh = mulhi64_512(vv, nh);
+    const __m512i ql = _mm512_mullo_epi64(vv, nh);
+    const __m512i sum_lo = _mm512_add_epi64(ql, nl);
+    const __mmask8 cy = _mm512_cmplt_epu64_mask(sum_lo, ql);
+    __m512i qh2 = _mm512_add_epi64(qh, _mm512_add_epi64(nh, one));
+    qh2 = _mm512_mask_add_epi64(qh2, cy, qh2, one);
+    __m512i r = _mm512_sub_epi64(nl, _mm512_mullo_epi64(qh2, vd));
+    const __mmask8 fix = _mm512_cmpgt_epu64_mask(r, sum_lo);
+    r = _mm512_mask_add_epi64(r, fix, r, vd);
+    const __mmask8 ge = _mm512_cmpge_epu64_mask(r, vd);
+    r = _mm512_mask_sub_epi64(r, ge, r, vd);
+    _mm512_storeu_si512(c + i, _mm512_srl_epi64(r, sh));
+  }
+  for (; i < n; ++i) c[i] = bar.mul(c[i], b[i]);
+}
+
+/// c[i] = shoup_mul(c[i], w, wq, p), canonical (2 multiplies + min-trick).
+KP_TGT_AVX512 inline void shoup_scale_512(u64* c, std::size_t n, u64 w, u64 wq,
+                                          u64 p) {
+  const __m512i vp = _mm512_set1_epi64(static_cast<long long>(p));
+  const __m512i vw = _mm512_set1_epi64(static_cast<long long>(w));
+  const __m512i vwq = _mm512_set1_epi64(static_cast<long long>(wq));
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i x = _mm512_loadu_si512(c + i);
+    const __m512i q = mulhi64_512(x, vwq);
+    __m512i r = _mm512_sub_epi64(_mm512_mullo_epi64(x, vw),
+                                 _mm512_mullo_epi64(q, vp));
+    r = _mm512_min_epu64(r, _mm512_sub_epi64(r, vp));  // r < 2p
+    _mm512_storeu_si512(c + i, r);
+  }
+  for (; i < n; ++i) c[i] = fastmod::shoup_mul(c[i], w, wq, p);
+}
+
+#undef KP_TGT_AVX2
+#undef KP_TGT_AVX512
+#undef KP_TGT_AVX512IFMA
+
+}  // namespace detail
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+#endif  // KP_SIMD_X86
+
+// ---------------------------------------------------------------------------
+// NEON kernel bodies (aarch64; compile-gated, exercised by the CI
+// cross-compile leg).  Mirrors the AVX2 4-limb / carry-tracking math on
+// 2x64 lanes.
+
+#if defined(KP_SIMD_NEON)
+
+namespace detail {
+
+inline u128 hsum_neon(uint64x2_t v) {
+  return static_cast<u128>(vgetq_lane_u64(v, 0)) + vgetq_lane_u64(v, 1);
+}
+
+inline u64 dot_4limb_neon(const fastmod::Barrett& bar, const u64* a,
+                          const u64* b, std::size_t n) {
+  const uint64x2_t zero = vdupq_n_u64(0);
+  const uint64x2_t m32 = vdupq_n_u64(0xffffffffULL);
+  u64 acc = 0;
+  std::size_t i = 0;
+  while (i + 2 <= n) {
+    std::size_t iters = (n - i) / 2;
+    if (iters > kLimbBlock) iters = kLimbBlock;
+    const std::size_t end = i + iters * 2;
+    uint64x2_t s0 = zero, s1 = zero, s2 = zero, s3 = zero;
+    for (; i < end; i += 2) {
+      const uint64x2_t va = vld1q_u64(a + i);
+      const uint64x2_t vb = vld1q_u64(b + i);
+      const uint32x2_t al = vmovn_u64(va);
+      const uint32x2_t ah = vshrn_n_u64(va, 32);
+      const uint32x2_t bl = vmovn_u64(vb);
+      const uint32x2_t bh = vshrn_n_u64(vb, 32);
+      const uint64x2_t ll = vmull_u32(al, bl);
+      const uint64x2_t lh = vmull_u32(al, bh);
+      const uint64x2_t hl = vmull_u32(ah, bl);
+      const uint64x2_t hh = vmull_u32(ah, bh);
+      s0 = vaddq_u64(s0, vandq_u64(ll, m32));
+      s1 = vaddq_u64(
+          s1, vaddq_u64(vshrq_n_u64(ll, 32),
+                        vaddq_u64(vandq_u64(lh, m32), vandq_u64(hl, m32))));
+      s2 = vaddq_u64(
+          s2, vaddq_u64(vandq_u64(hh, m32),
+                        vaddq_u64(vshrq_n_u64(lh, 32), vshrq_n_u64(hl, 32))));
+      s3 = vaddq_u64(s3, vshrq_n_u64(hh, 32));
+    }
+    acc = fold_4limb(bar, hsum_neon(s0), hsum_neon(s1), hsum_neon(s2),
+                     hsum_neon(s3), acc);
+  }
+  return dot_tail(bar, a, b, i, n, acc);
+}
+
+inline u64 sum_neon(const fastmod::Barrett& bar, const u64* a, std::size_t n) {
+  uint64x2_t lo = vdupq_n_u64(0);
+  uint64x2_t hi = vdupq_n_u64(0);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint64x2_t x = vld1q_u64(a + i);
+    lo = vaddq_u64(lo, x);
+    // wrapped iff new lo < x (all-ones lanes); subtracting adds the carry.
+    hi = vsubq_u64(hi, vreinterpretq_u64_u32(vreinterpretq_u32_u64(
+                           vcltq_u64(lo, x))));
+  }
+  u128 t = hsum_neon(lo) + (hsum_neon(hi) << 64);
+  for (; i < n; ++i) t += a[i];
+  return bar.reduce_full(t);
+}
+
+}  // namespace detail
+
+#endif  // KP_SIMD_NEON
+
+// ---------------------------------------------------------------------------
+// Public entry points: dispatch + diagnostics.  Each returns true only when
+// the request was fully handled bit-identically; the caller's scalar loop is
+// the universal fallback.
+
+/// Contiguous (stride-1) delayed-reduction dot product.
+inline bool dot(const fastmod::Barrett& bar, const u64* a, const u64* b,
+                std::size_t n, u64* out) {
+#if defined(KP_SIMD_X86)
+  const SimdLevel lvl = simd_level();
+  if (n < kMinSimdN || lvl < SimdLevel::kAvx2) return false;
+  *out = detail::dot_dispatch(lvl, bar, a, b, n);
+  detail::bump(detail::stat_counters().dot,
+               n / (lvl == SimdLevel::kAvx512 ? 8 : 4));
+  return true;
+#elif defined(KP_SIMD_NEON)
+  if (n < kMinSimdN || simd_level() != SimdLevel::kNeon) return false;
+  *out = detail::dot_4limb_neon(bar, a, b, n);
+  detail::bump(detail::stat_counters().dot, n / 2);
+  return true;
+#else
+  (void)bar;
+  (void)a;
+  (void)b;
+  (void)n;
+  (void)out;
+  return false;
+#endif
+}
+
+/// Sum of n residues.
+inline bool sum(const fastmod::Barrett& bar, const u64* a, std::size_t n,
+                u64* out) {
+#if defined(KP_SIMD_X86)
+  const SimdLevel lvl = simd_level();
+  if (n < kMinSimdN || lvl < SimdLevel::kAvx2) return false;
+  *out = lvl == SimdLevel::kAvx512 ? detail::sum_512(bar, a, n)
+                                   : detail::sum_256(bar, a, n);
+  detail::bump(detail::stat_counters().sum,
+               n / (lvl == SimdLevel::kAvx512 ? 8 : 4));
+  return true;
+#elif defined(KP_SIMD_NEON)
+  if (n < kMinSimdN || simd_level() != SimdLevel::kNeon) return false;
+  *out = detail::sum_neon(bar, a, n);
+  detail::bump(detail::stat_counters().sum, n / 2);
+  return true;
+#else
+  (void)bar;
+  (void)a;
+  (void)n;
+  (void)out;
+  return false;
+#endif
+}
+
+/// Gathered dot sum_k val[k] * x[col[k]] (AVX-512 only: hardware gather).
+inline bool dot_gather(const fastmod::Barrett& bar, const u64* val,
+                       const std::size_t* col, const u64* x, std::size_t n,
+                       u64* out) {
+#if defined(KP_SIMD_X86)
+  if (n < kMinSimdN || simd_level() != SimdLevel::kAvx512) return false;
+  *out = detail::dot_gather_512(bar, val, col, x, n);
+  detail::bump(detail::stat_counters().gather, n / 8);
+  return true;
+#else
+  (void)bar;
+  (void)val;
+  (void)col;
+  (void)x;
+  (void)n;
+  (void)out;
+  return false;
+#endif
+}
+
+/// Zero-skipping dot (stride-1 b only).  Zero entries of `a` contribute 0 to
+/// every limb accumulator, so the plain dot body computes the identical
+/// canonical value; the nonzero count (for the caller's op accounting) comes
+/// from a vector compare pass.
+inline bool dot_skip_zero(const fastmod::Barrett& bar, const u64* a,
+                          const u64* b, std::size_t n, u64* out,
+                          std::size_t* nnz) {
+#if defined(KP_SIMD_X86)
+  const SimdLevel lvl = simd_level();
+  if (n < kMinSimdN || lvl < SimdLevel::kAvx2) return false;
+  *nnz = lvl == SimdLevel::kAvx512 ? detail::count_nonzero_512(a, n)
+                                   : detail::count_nonzero_256(a, n);
+  *out = detail::dot_dispatch(lvl, bar, a, b, n);
+  detail::bump(detail::stat_counters().skip_zero,
+               n / (lvl == SimdLevel::kAvx512 ? 8 : 4));
+  return true;
+#else
+  (void)bar;
+  (void)a;
+  (void)b;
+  (void)n;
+  (void)out;
+  (void)nnz;
+  return false;
+#endif
+}
+
+/// Lane-blocked Montgomery-trick batched inversion (AVX-512, odd p).  All
+/// entries must be nonzero -- the caller pre-scans and reports zeros through
+/// its Status path before dispatching.  `inv` is the scalar extended-Euclid
+/// inverse (passed in to keep this header below field/zp.h in the include
+/// order).
+inline bool batch_inverse(u64 p, u64* a, std::size_t n, u64 (*inv)(u64, u64)) {
+#if defined(KP_SIMD_X86)
+  if (n < kMinSimdN || (p & 1) == 0 || simd_level() != SimdLevel::kAvx512) {
+    return false;
+  }
+  const fastmod::Montgomery mont(p);
+  detail::batch_inverse_512(mont, a, n, inv);
+  detail::bump(detail::stat_counters().batch_inverse, n / 8);
+  return true;
+#else
+  (void)p;
+  (void)a;
+  (void)n;
+  (void)inv;
+  return false;
+#endif
+}
+
+/// Harvey lazy butterflies for flat indices [b0, b1) of one level of an
+/// in-place transform rooted at d (lane layout per poly/ntt.h: block b/half,
+/// lane b%half, len = 2*half).  Requires residues in [0, 4p) with 4p < 2^64
+/// (the caller's lazy branch guarantees p < 2^62).  Small halves (1, 2, 4)
+/// go through a permute path; they require b0/b1 to be multiples of half,
+/// which the power-of-two chunk grain guarantees.
+inline bool ntt_level_lazy(u64* d, const u64* tw, const u64* twq,
+                           std::size_t half, std::size_t b0, std::size_t b1,
+                           u64 p) {
+#if defined(KP_SIMD_X86)
+  if (b1 - b0 < kMinSimdN || simd_level() != SimdLevel::kAvx512) return false;
+  if (half >= 8) {
+    detail::ntt_level_big_512(d, tw, twq, half, b0, b1, p);
+  } else {
+    if ((b0 % half) != 0 || ((b1 - b0) % half) != 0) return false;
+    detail::ntt_level_small_512(d, tw, twq, half, b0, b1, p);
+  }
+  detail::bump(detail::stat_counters().ntt, (b1 - b0) / 8);
+  return true;
+#else
+  (void)d;
+  (void)tw;
+  (void)twq;
+  (void)half;
+  (void)b0;
+  (void)b1;
+  (void)p;
+  return false;
+#endif
+}
+
+/// The transform's final [0, 4p) -> [0, p) normalization pass.
+inline bool ntt_normalize4p(u64* x, std::size_t n, u64 p) {
+#if defined(KP_SIMD_X86)
+  if (n < kMinSimdN || simd_level() != SimdLevel::kAvx512) return false;
+  detail::normalize4p_512(x, n, p);
+  detail::bump(detail::stat_counters().scale, n / 8);
+  return true;
+#else
+  (void)x;
+  (void)n;
+  (void)p;
+  return false;
+#endif
+}
+
+/// Pointwise spectrum product c[i] = c[i] * b[i] mod p (canonical).
+inline bool ntt_pointwise_mul(const fastmod::Barrett& bar, u64* c,
+                              const u64* b, std::size_t n) {
+#if defined(KP_SIMD_X86)
+  if (n < kMinSimdN || simd_level() != SimdLevel::kAvx512) return false;
+  detail::pointwise_512(bar, c, b, n);
+  detail::bump(detail::stat_counters().pointwise, n / 8);
+  return true;
+#else
+  (void)bar;
+  (void)c;
+  (void)b;
+  (void)n;
+  return false;
+#endif
+}
+
+/// Constant-multiplier scale c[i] = c[i] * w mod p with w's Shoup quotient.
+inline bool ntt_shoup_scale(u64* c, std::size_t n, u64 w, u64 wq, u64 p) {
+#if defined(KP_SIMD_X86)
+  if (n < kMinSimdN || simd_level() != SimdLevel::kAvx512) return false;
+  detail::shoup_scale_512(c, n, w, wq, p);
+  detail::bump(detail::stat_counters().scale, n / 8);
+  return true;
+#else
+  (void)c;
+  (void)n;
+  (void)w;
+  (void)wq;
+  (void)p;
+  return false;
+#endif
+}
+
+}  // namespace kp::field::simd

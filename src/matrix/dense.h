@@ -8,11 +8,13 @@
 #include <cassert>
 #include <cstdint>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "field/concepts.h"
 #include "field/kernels.h"
 #include "pram/parallel_for.h"
+#include "util/aligned.h"
 #include "util/prng.h"
 
 namespace kp::matrix {
@@ -49,11 +51,14 @@ typename R::Element balanced_sum(const R& r,
   return std::move(terms[0]);
 }
 
-/// Row-major dense matrix of R::Element.
+/// Row-major dense matrix of R::Element.  The backing store is 64-byte
+/// aligned (util/aligned.h) so the word-sized fast-field kernels start on
+/// the vector-register / cache-line boundary; element layout is unchanged.
 template <kp::field::CommutativeRing R>
 class Matrix {
  public:
   using Element = typename R::Element;
+  using Storage = kp::util::AlignedVector<Element>;
 
   Matrix() : rows_(0), cols_(0) {}
   Matrix(std::size_t rows, std::size_t cols, Element fill)
@@ -76,12 +81,12 @@ class Matrix {
   Element* row(std::size_t i) { return data_.data() + i * cols_; }
   const Element* row(std::size_t i) const { return data_.data() + i * cols_; }
 
-  std::vector<Element>& data() { return data_; }
-  const std::vector<Element>& data() const { return data_; }
+  Storage& data() { return data_; }
+  const Storage& data() const { return data_; }
 
  private:
   std::size_t rows_, cols_;
-  std::vector<Element> data_;
+  Storage data_;
 };
 
 template <kp::field::CommutativeRing R>
@@ -180,6 +185,12 @@ std::vector<typename R::Element> mat_vec(const R& r, const Matrix<R>& a,
   assert(a.cols() == x.size());
   std::vector<typename R::Element> out(a.rows(), r.zero());
   if constexpr (kp::field::kernels::FastField<R>) {
+    // The kernels consume raw row pointers: the backing store must carry
+    // the aligned-allocation guarantee (base address % kSimdAlign == 0).
+    static_assert(
+        std::is_same_v<typename Matrix<R>::Storage,
+                       kp::util::AlignedVector<typename Matrix<R>::Element>>,
+        "kernel-facing matrix storage must use the aligned allocator");
     // Fused delayed-reduction rows: one reduction per output entry.
     auto fast_row = [&](std::size_t i) {
       out[i] = kp::field::kernels::dot(r, a.row(i), x.data(), a.cols());

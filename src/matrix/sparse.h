@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "matrix/dense.h"
+#include "util/aligned.h"
 #include "util/prng.h"
 
 namespace kp::matrix {
@@ -62,6 +63,13 @@ class Sparse {
     std::vector<Element> y(rows_, r.zero());
     auto row_product = [&](std::size_t i) {
       if constexpr (kp::field::kernels::FastField<R>) {
+        // dot_gather consumes raw val_/col_ pointers: keep the aligned
+        // backing-store guarantee attached to the declarations below.
+        static_assert(
+            std::is_same_v<decltype(val_), kp::util::AlignedVector<Element>> &&
+                std::is_same_v<decltype(col_),
+                               kp::util::AlignedVector<std::size_t>>,
+            "kernel-facing sparse storage must use the aligned allocator");
         const std::size_t lo = row_ptr_[i];
         y[i] = kp::field::kernels::dot_gather(r, val_.data() + lo,
                                               col_.data() + lo, x.data(),
@@ -129,8 +137,8 @@ class Sparse {
  private:
   std::size_t rows_, cols_;
   std::vector<std::size_t> row_ptr_;
-  std::vector<std::size_t> col_;
-  std::vector<Element> val_;
+  kp::util::AlignedVector<std::size_t> col_;
+  kp::util::AlignedVector<Element> val_;
 };
 
 }  // namespace kp::matrix

@@ -13,6 +13,7 @@
 #include "field/concepts.h"
 #include "field/kernels.h"
 #include "poly/poly_ring.h"
+#include "util/status.h"
 
 namespace kp::poly {
 
@@ -28,9 +29,10 @@ std::vector<typename F::Element> multipoint_eval(
 }
 
 /// Newton-form interpolation through (points[i], values[i]); the points must
-/// be pairwise distinct.  Returns the unique polynomial of degree < n.
+/// be pairwise distinct.  Returns the unique polynomial of degree < n, or
+/// kDivisionByZero if two points coincide (detected in every build mode).
 template <kp::field::Field F>
-typename PolyRing<F>::Element interpolate(
+kp::util::StatusOr<typename PolyRing<F>::Element> interpolate_status(
     const PolyRing<F>& ring, const std::vector<typename F::Element>& points,
     const std::vector<typename F::Element>& values) {
   assert(points.size() == values.size());
@@ -48,10 +50,12 @@ typename PolyRing<F>::Element interpolate(
       std::vector<typename F::Element> denom(n - level);
       for (std::size_t i = n - 1; i >= level; --i) {
         denom[i - level] = f.sub(points[i], points[i - level]);
-        assert(!f.eq(denom[i - level], f.zero()) &&
-               "interpolation points must be distinct");
       }
-      kp::field::kernels::batch_inverse(f, denom.data(), denom.size());
+      // A zero denominator means two interpolation points coincide; the
+      // batch inversion detects it before mutating anything.
+      const auto st =
+          kp::field::kernels::batch_inverse(f, denom.data(), denom.size());
+      if (!st.ok()) return st;
       for (std::size_t i = n - 1; i >= level; --i) {
         dd[i] = kp::field::kernels::mul_uncounted(f, f.sub(dd[i], dd[i - 1]),
                                                   denom[i - level]);
@@ -59,7 +63,11 @@ typename PolyRing<F>::Element interpolate(
     } else {
       for (std::size_t i = n - 1; i >= level; --i) {
         const auto denom = f.sub(points[i], points[i - level]);
-        assert(!f.eq(denom, f.zero()) && "interpolation points must be distinct");
+        if (f.eq(denom, f.zero())) {
+          return kp::util::Status::Fail(
+              kp::util::FailureKind::kDivisionByZero, kp::util::Stage::kNone,
+              "interpolate: coincident points");
+        }
         dd[i] = f.div(f.sub(dd[i], dd[i - 1]), denom);
       }
     }
@@ -74,6 +82,19 @@ typename PolyRing<F>::Element interpolate(
     acc = ring.add(ring.mul(acc, factor), typename PolyRing<F>::Element{dd[k]});
   }
   return acc;
+}
+
+/// Assert-on-distinctness convenience wrapper around interpolate_status, for
+/// call sites that guarantee distinct points by construction (returns the
+/// zero polynomial on failure in release builds).
+template <kp::field::Field F>
+typename PolyRing<F>::Element interpolate(
+    const PolyRing<F>& ring, const std::vector<typename F::Element>& points,
+    const std::vector<typename F::Element>& values) {
+  auto r = interpolate_status(ring, points, values);
+  assert(r.ok() && "interpolation points must be distinct");
+  if (!r.ok()) return ring.zero();
+  return r.take();
 }
 
 }  // namespace kp::poly

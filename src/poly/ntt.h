@@ -45,6 +45,7 @@
 
 #include "field/kernels.h"
 #include "field/primes.h"
+#include "field/simd.h"
 #include "field/reference.h"
 #include "field/zp.h"
 #include "poly/poly_ring.h"
@@ -297,6 +298,14 @@ void ntt_inplace(const F& f, std::vector<typename F::Element>& a,
         const std::uint64_t* const tw_l = tw;
         const std::uint64_t* const twq_l = twq;
         dispatch_chunks(n / 2, [=](std::size_t b0, std::size_t b1) {
+          // Lane-parallel butterflies within this chunk: the chunk bounds
+          // are worker-count independent (dispatch_chunks), so the vector
+          // path preserves bit-identity across 1..N workers just like the
+          // scalar one (and IS the scalar arithmetic, lane by lane).
+          if (kp::field::simd::ntt_level_lazy(d, tw_l, twq_l, half, b0, b1,
+                                              p)) {
+            return;
+          }
           std::size_t b = b0;
           while (b < b1) {
             const std::size_t block = b / half;
@@ -319,6 +328,7 @@ void ntt_inplace(const F& f, std::vector<typename F::Element>& a,
         twq += half;
       }
       dispatch_chunks(n, [=](std::size_t i0, std::size_t i1) {
+        if (kp::field::simd::ntt_normalize4p(d + i0, i1 - i0, p)) return;
         for (std::size_t i = i0; i < i1; ++i) {
           std::uint64_t x = d[i];
           if (x >= p2) x -= p2;
@@ -464,15 +474,21 @@ std::vector<typename F::Element> ntt_pointwise_finish(const F& f,
   std::vector<typename F::Element> c = std::move(fa.data);
   if constexpr (kp::field::kernels::FastField<F>) {
     const auto& bar = kp::field::FieldKernels<F>::barrett(f);
-    for (std::size_t i = 0; i < n; ++i) c[i] = bar.mul(c[i], fb.data[i]);
+    if (!kp::field::simd::ntt_pointwise_mul(bar, c.data(), fb.data.data(),
+                                            n)) {
+      for (std::size_t i = 0; i < n; ++i) c[i] = bar.mul(c[i], fb.data[i]);
+    }
     kp::util::count_muls(n);
     detail::ntt_inplace(f, c, w_inv, p);
     // One logical division for 1/n (the cached value skips the repeated
     // extended Euclid), then the Shoup constant-multiplier scale.
     const detail::ScaleInverse& si = detail::cached_scale_inverse(p, n);
     kp::util::count_div();
-    for (auto& x : c) {
-      x = kp::field::fastmod::shoup_mul(x, si.n_inv, si.n_inv_shoup, p);
+    if (!kp::field::simd::ntt_shoup_scale(c.data(), n, si.n_inv,
+                                          si.n_inv_shoup, p)) {
+      for (auto& x : c) {
+        x = kp::field::fastmod::shoup_mul(x, si.n_inv, si.n_inv_shoup, p);
+      }
     }
     kp::util::count_muls(n);
   } else {

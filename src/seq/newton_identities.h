@@ -54,7 +54,12 @@ std::vector<typename F::Element> charpoly_from_power_sums(
     for (std::size_t k = 1; k <= n; ++k) {
       int_inv[k - 1] = f.from_int(static_cast<std::int64_t>(k));
     }
-    kp::field::kernels::batch_inverse(f, int_inv.data(), int_inv.size());
+    // The divisors 1..n are nonzero by the characteristic precondition, so
+    // a failure here means the precondition was violated: surface it as an
+    // empty result rather than dividing by zero.
+    const auto st =
+        kp::field::kernels::batch_inverse(f, int_inv.data(), int_inv.size());
+    if (!st.ok()) return {};
   }
   // div(a, k) with the same accounting as f.div: the division was charged by
   // batch_inverse, the multiply is the div's own uncounted one.

@@ -1,0 +1,67 @@
+// 64-byte-aligned allocation for kernel-facing buffers.
+//
+// The SIMD backend (field/simd.h) loads matrix rows, sparse values, and NTT
+// work buffers as 256/512-bit vectors.  Unaligned loads are architecturally
+// legal everywhere we dispatch, but an allocation aligned to the widest
+// vector (and to the cache line: 64 bytes covers AVX-512 and every current
+// x86/ARM line size) keeps every full block load on the aligned fast path
+// and prevents cache-line-split accesses in the hot kernels.
+//
+// AlignedAllocator is a minimal C++17 allocator over ::operator new with
+// std::align_val_t; AlignedVector<T> is the drop-in std::vector rebind used
+// by matrix/dense.h and matrix/sparse.h for their backing stores.  Element
+// layout, size, and values are unchanged -- only the base address guarantee
+// is stronger -- so containers swap allocators without touching any
+// arithmetic or accounting.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace kp::util {
+
+/// Alignment of every kernel-facing backing store: one cache line, which is
+/// also the widest vector register (AVX-512) the dispatch can select.
+inline constexpr std::size_t kSimdAlign = 64;
+
+template <class T, std::size_t Align = kSimdAlign>
+class AlignedAllocator {
+  static_assert(Align >= alignof(T), "alignment below the type's natural one");
+  static_assert((Align & (Align - 1)) == 0, "alignment must be a power of two");
+
+ public:
+  using value_type = T;
+  using size_type = std::size_t;
+  using difference_type = std::ptrdiff_t;
+  using propagate_on_container_move_assignment = std::true_type;
+  using is_always_equal = std::true_type;
+
+  template <class U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+
+  constexpr AlignedAllocator() noexcept = default;
+  template <class U>
+  constexpr AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Align)));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t(Align));
+  }
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+};
+
+/// std::vector with a 64-byte-aligned backing store.  Same element layout and
+/// semantics as std::vector<T>; data() is guaranteed kSimdAlign-aligned.
+template <class T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace kp::util

@@ -42,6 +42,7 @@ enum class FailureKind : std::uint8_t {
   kInvalidArgument,        ///< malformed input (non-square, dim mismatch, ...)
   kOpBudgetExhausted,      ///< per-attempt op budget hit; degraded to baseline
   kInjectedFault,          ///< synthetic failure from the fault harness
+  kDivisionByZero,         ///< a kernel was asked to invert a zero element
 };
 
 /// Where it failed.  Stages double as fault-injection trigger keys
@@ -73,6 +74,7 @@ inline const char* to_string(FailureKind k) {
     case FailureKind::kInvalidArgument: return "invalid-argument";
     case FailureKind::kOpBudgetExhausted: return "op-budget-exhausted";
     case FailureKind::kInjectedFault: return "injected-fault";
+    case FailureKind::kDivisionByZero: return "division-by-zero";
   }
   return "unknown";
 }

@@ -149,7 +149,7 @@ TEST(BuilderFieldTest, BerkowitzRecordsDivisionFreeDetCircuit) {
   // Evaluate and compare against Gaussian elimination.
   util::Prng prng(2);
   auto m = matrix::random_matrix(f, n, n, prng);
-  std::vector<F::Element> in(m.data());
+  std::vector<F::Element> in(m.data().begin(), m.data().end());
   auto res = c.evaluate(f, in, {});
   ASSERT_TRUE(res.ok);
   EXPECT_EQ(res.outputs[0], matrix::det_gauss(f, m));
@@ -235,7 +235,7 @@ TEST(GradientTest, DetGradientIsTransposedAdjugate) {
   auto inv = matrix::inverse_gauss(f, m);
   ASSERT_TRUE(inv.has_value());
   const auto det = matrix::det_gauss(f, m);
-  auto res = g.evaluate(f, m.data(), {});
+  auto res = g.evaluate(f, {m.data().begin(), m.data().end()}, {});
   ASSERT_TRUE(res.ok);
   EXPECT_EQ(res.outputs[0], det);
   for (std::size_t i = 0; i < n; ++i) {
@@ -341,7 +341,7 @@ TEST(BuildersTest, SolverCircuitSolvesSystems) {
     std::vector<F::Element> x(n);
     for (auto& e : x) e = f.random(prng);
     auto b = matrix::mat_vec(f, a, x);
-    std::vector<F::Element> in(a.data());
+    std::vector<F::Element> in(a.data().begin(), a.data().end());
     in.insert(in.end(), b.begin(), b.end());
     auto res = eval_with_randoms(c, f, in, prng);
     ASSERT_TRUE(res.ok) << n;
@@ -369,7 +369,7 @@ TEST(BuildersTest, SolverCircuitFailsOnSingularInput) {
     a.at(1, j) = f.mul(a.at(0, j), 2);
     a.at(2, j) = f.mul(a.at(0, j), 3);
   }
-  std::vector<F::Element> in(a.data());
+  std::vector<F::Element> in(a.data().begin(), a.data().end());
   std::vector<F::Element> b{1, 2, 3};
   in.insert(in.end(), b.begin(), b.end());
   auto res = eval_with_randoms(c, f, in, prng);
@@ -382,7 +382,7 @@ TEST(BuildersTest, DetCircuitMatchesGauss) {
     auto c = circuit::build_det_circuit(n);
     auto a = matrix::random_matrix(f, n, n, prng);
     if (f.is_zero(matrix::det_gauss(f, a))) continue;
-    auto res = eval_with_randoms(c, f, a.data(), prng);
+    auto res = eval_with_randoms(c, f, {a.data().begin(), a.data().end()}, prng);
     ASSERT_TRUE(res.ok) << n;
     EXPECT_EQ(res.outputs[0], matrix::det_gauss(f, a)) << n;
   }
@@ -398,7 +398,7 @@ TEST(BuildersTest, InverseCircuitMatchesGauss) {
     auto a = matrix::random_matrix(f, n, n, prng);
     auto inv = matrix::inverse_gauss(f, a);
     if (!inv) continue;
-    auto res = eval_with_randoms(c, f, a.data(), prng);
+    auto res = eval_with_randoms(c, f, {a.data().begin(), a.data().end()}, prng);
     ASSERT_TRUE(res.ok) << n;
     for (std::size_t i = 0; i < n; ++i) {
       for (std::size_t j = 0; j < n; ++j) {
@@ -419,7 +419,7 @@ TEST(BuildersTest, TransposedSolverCircuit) {
   for (auto& e : b) e = f.random(prng);
   // Inputs: A row-major, then x-slot (unused values fine: gradient does not
   // depend on x), then b.
-  std::vector<F::Element> in(a.data());
+  std::vector<F::Element> in(a.data().begin(), a.data().end());
   std::vector<F::Element> xdummy(n, f.one());
   in.insert(in.end(), xdummy.begin(), xdummy.end());
   in.insert(in.end(), b.begin(), b.end());
