@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "circuit/builders.h"
+#include "circuit/tape.h"
+#include "circuit/tape_eval.h"
 #include "field/zp.h"
 #include "matrix/gauss.h"
 #include "util/bench_json.h"
@@ -37,8 +39,12 @@ int main() {
     kp::util::WallTimer wt;
     auto det = kp::circuit::build_det_circuit(n, kp::field::kNttPrime);
     auto inv = kp::circuit::build_inverse_circuit(n, kp::field::kNttPrime);
+    const auto tape = kp::circuit::compile(inv);
+    const kp::circuit::TapeEvaluator<F> ev(f, tape);
 
-    // Evaluate on a random non-singular matrix and verify against Gauss.
+    // Evaluate through the compiled tape on a random non-singular matrix
+    // and verify against Gauss, with node-at-a-time evaluate() as the
+    // checked reference for the tape path.
     std::string check = "-";
     auto a = kp::matrix::random_matrix(f, n, n, prng);
     auto ref = kp::matrix::inverse_gauss(f, a);
@@ -47,12 +53,17 @@ int main() {
       for (int attempt = 0; attempt < 5; ++attempt) {
         std::vector<F::Element> rnd(inv.num_randoms());
         for (auto& e : rnd) e = f.sample(prng, 1u << 20);
-        auto res = inv.evaluate(f, {a.data().begin(), a.data().end()}, rnd);
-        if (!res.ok) continue;  // unlucky draw
-        bool good = true;
+        std::vector<std::vector<F::Element>> in_lanes, rnd_lanes;
+        for (auto v : a.data()) in_lanes.push_back({v});
+        for (auto v : rnd) rnd_lanes.push_back({v});
+        auto res = ev.evaluate(in_lanes, rnd_lanes);
+        if (!res.status.ok()) continue;  // unlucky draw
+        auto node = inv.evaluate(f, {a.data().begin(), a.data().end()}, rnd);
+        bool good = node.ok;
         for (std::size_t i = 0; i < n && good; ++i) {
           for (std::size_t j = 0; j < n && good; ++j) {
-            good = f.eq(res.outputs[i * n + j], ref->at(i, j));
+            good = f.eq(res.outputs[i * n + j][0], ref->at(i, j)) &&
+                   f.eq(node.outputs[i * n + j], res.outputs[i * n + j][0]);
           }
         }
         check = good ? "ok" : "FAIL";
@@ -69,6 +80,8 @@ int main() {
     report.put("det_depth", static_cast<std::uint64_t>(det.depth()));
     report.put("inv_size", std::uint64_t{inv.size()});
     report.put("inv_depth", static_cast<std::uint64_t>(inv.depth()));
+    report.put("tape_instrs", std::uint64_t{tape.num_instrs()});
+    report.put("tape_levels", std::uint64_t{tape.num_levels()});
     report.put("eval_check", check);
     report.put("wall_ms", wt.elapsed_ms());
     t.add_row({std::to_string(n), kp::util::Table::num(std::uint64_t{det.size()}),

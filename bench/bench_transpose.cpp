@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "circuit/builders.h"
+#include "circuit/tape.h"
+#include "circuit/tape_eval.h"
 #include "field/zp.h"
 #include "matrix/gauss.h"
 #include "matrix/structured.h"
@@ -29,7 +31,10 @@ int main() {
     auto solver = kp::circuit::build_solver_circuit(n, kp::field::kNttPrime);
     auto trans = kp::circuit::build_transposed_solver_circuit(n, kp::field::kNttPrime);
 
-    // Evaluate: outputs must solve A^T y = b.
+    // Evaluate through the compiled tape: outputs must solve A^T y = b,
+    // and must match node-at-a-time evaluate() (the checked reference).
+    const auto tape = kp::circuit::compile(trans);
+    const kp::circuit::TapeEvaluator<F> ev(f, tape);
     std::string check = "-";
     auto a = kp::matrix::random_matrix(f, n, n, prng);
     if (!f.is_zero(kp::matrix::det_gauss(f, a))) {
@@ -43,10 +48,20 @@ int main() {
       for (int attempt = 0; attempt < 5; ++attempt) {
         std::vector<F::Element> rnd(trans.num_randoms());
         for (auto& e : rnd) e = f.sample(prng, 1u << 20);
-        auto res = trans.evaluate(f, in, rnd);
-        if (!res.ok) continue;
-        auto atx = kp::matrix::mat_vec(f, kp::matrix::mat_transpose(f, a), res.outputs);
-        check = (atx == b) ? "ok" : "FAIL";
+        std::vector<std::vector<F::Element>> in_lanes, rnd_lanes;
+        for (auto v : in) in_lanes.push_back({v});
+        for (auto v : rnd) rnd_lanes.push_back({v});
+        auto res = ev.evaluate(in_lanes, rnd_lanes);
+        if (!res.status.ok()) continue;
+        auto node = trans.evaluate(f, in, rnd);
+        std::vector<F::Element> y(res.outputs.size());
+        bool identical = node.ok;
+        for (std::size_t i = 0; i < y.size(); ++i) {
+          y[i] = res.outputs[i][0];
+          identical = identical && f.eq(node.outputs[i], y[i]);
+        }
+        auto atx = kp::matrix::mat_vec(f, kp::matrix::mat_transpose(f, a), y);
+        check = (identical && atx == b) ? "ok" : "FAIL";
         break;
       }
     }

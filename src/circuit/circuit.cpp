@@ -18,9 +18,14 @@ NodeId Circuit::input() {
 }
 
 NodeId Circuit::constant(std::int64_t v) {
+  if (const auto it = constant_pool_.find(v); it != constant_pool_.end()) {
+    return it->second;
+  }
   Node n{Op::kConst};
   n.value = v;
-  return push(n);
+  const NodeId id = push(n);
+  constant_pool_.emplace(v, id);
+  return id;
 }
 
 NodeId Circuit::random_element() {

@@ -12,9 +12,13 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "field/concepts.h"
+#include "util/fault.h"
+#include "util/status.h"
 
 namespace kp::circuit {
 
@@ -39,6 +43,9 @@ struct Node {
 };
 
 /// Append-only circuit arena.  Nodes are topologically ordered by id.
+/// Identical constant() values are pooled: the first call appends a node,
+/// later calls return the existing id (constants are leaves, so size() --
+/// the paper's arithmetic-node count -- is unaffected; see DESIGN.md §11).
 class Circuit {
  public:
   NodeId input();
@@ -79,13 +86,27 @@ class Circuit {
     std::vector<typename F::Element> outputs;
   };
 
-  /// Evaluates the circuit over a field.  `input_values` and `random_values`
-  /// must match num_inputs() / num_randoms().
+  /// Result of a Status-reporting evaluation.  On kDivisionByZero the id of
+  /// the failing kDiv node is carried alongside the Status so callers can
+  /// map the failure event back into the DAG (depth_of(failed_node), dot
+  /// export, ...).
+  template <class F>
+  struct EvalResult {
+    kp::util::Status status;
+    std::vector<typename F::Element> outputs;
+    NodeId failed_node = 0;  ///< valid iff status.kind() == kDivisionByZero
+  };
+
+  /// Evaluates the circuit over a field, one node at a time.  The failure
+  /// event (a kDiv node whose divisor evaluates to zero -- unlucky randoms
+  /// or a singular input, Theorem 4) is reported through the PR-4 taxonomy
+  /// as kDivisionByZero at Stage::kCircuitEval with the failing NodeId.
+  /// `input_values` / `random_values` must match num_inputs()/num_randoms().
   template <kp::field::Field F>
-  Eval<F> evaluate(const F& f,
-                   const std::vector<typename F::Element>& input_values,
-                   const std::vector<typename F::Element>& random_values) const {
-    Eval<F> res;
+  EvalResult<F> evaluate_status(
+      const F& f, const std::vector<typename F::Element>& input_values,
+      const std::vector<typename F::Element>& random_values) const {
+    EvalResult<F> res;
     std::vector<typename F::Element> val(nodes_.size(), f.zero());
     std::size_t next_input = 0, next_random = 0;
     for (std::size_t i = 0; i < nodes_.size(); ++i) {
@@ -109,18 +130,44 @@ class Circuit {
         case Op::kMul:
           val[i] = f.mul(val[n.a], val[n.b]);
           break;
-        case Op::kDiv:
-          if (f.is_zero(val[n.b])) return res;  // the failure event
+        case Op::kDiv: {
+          const bool injected = KP_FAULT_POINT(kp::util::Stage::kCircuitEval);
+          if (f.is_zero(val[n.b]) || injected) {  // the failure event
+            res.failed_node = static_cast<NodeId>(i);
+            res.status =
+                injected
+                    ? kp::util::Status::Injected(
+                          kp::util::FailureKind::kDivisionByZero,
+                          kp::util::Stage::kCircuitEval)
+                    : kp::util::Status::Fail(
+                          kp::util::FailureKind::kDivisionByZero,
+                          kp::util::Stage::kCircuitEval,
+                          "node " + std::to_string(i));
+            return res;
+          }
           val[i] = f.div(val[n.a], val[n.b]);
           break;
+        }
         case Op::kNeg:
           val[i] = f.neg(val[n.a]);
           break;
       }
     }
-    res.ok = true;
     res.outputs.reserve(outputs_.size());
     for (NodeId id : outputs_) res.outputs.push_back(val[id]);
+    return res;
+  }
+
+  /// Legacy bool-reporting evaluation -- a thin wrapper over
+  /// evaluate_status() (ok == status.ok()).
+  template <kp::field::Field F>
+  Eval<F> evaluate(const F& f,
+                   const std::vector<typename F::Element>& input_values,
+                   const std::vector<typename F::Element>& random_values) const {
+    auto st = evaluate_status(f, input_values, random_values);
+    Eval<F> res;
+    res.ok = st.status.ok();
+    res.outputs = std::move(st.outputs);
     return res;
   }
 
@@ -131,6 +178,7 @@ class Circuit {
   std::vector<NodeId> inputs_;
   std::vector<NodeId> randoms_;
   std::vector<NodeId> outputs_;
+  std::unordered_map<std::int64_t, NodeId> constant_pool_;
   std::size_t arithmetic_count_ = 0;
 };
 

@@ -1,0 +1,410 @@
+// Versioned on-disk format for compiled tapes.
+//
+// A serialized tape is a self-contained artifact: header + accounting,
+// constant pool, slot tables, level table, instruction stream, source-node
+// map, embedded self-check test vectors, and a trailing FNV-1a checksum.
+// All integers are little-endian with explicit widths, so the bytes are
+// identical across platforms and serialize(deserialize(bytes)) == bytes
+// (round-trip byte-identity, tested in tests/test_tape.cpp).
+//
+// The embedded test vectors follow the ensure() idiom: add_test_vector()
+// records a real evaluation over GF(modulus) at save time, ensure()
+// replays every vector after load and reports kVerifyMismatch if the
+// artifact no longer reproduces its own recorded behavior -- including
+// recorded FAILURES (a vector with ok == false asserts the
+// division-by-zero event still fires).
+//
+// deserialize_tape() validates structure before returning: magic, version,
+// checksum, op codes, slot bounds, level-table consistency.  A corrupt or
+// truncated file is a Status (kInvalidArgument at Stage::kCircuitEval),
+// never UB.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "circuit/tape.h"
+#include "circuit/tape_eval.h"
+#include "field/zp.h"
+#include "util/prng.h"
+#include "util/status.h"
+
+namespace kp::circuit {
+
+inline constexpr char kTapeMagic[8] = {'K', 'P', 'T', 'A', 'P', 'E', '0', '1'};
+inline constexpr std::uint32_t kTapeVersion = 1;
+
+namespace tape_io_detail {
+
+inline void put_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+inline void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+inline void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+inline void put_i64(std::string& out, std::int64_t v) {
+  put_u64(out, static_cast<std::uint64_t>(v));
+}
+
+inline std::uint64_t fnv1a(const char* data, std::size_t n) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Bounds-checked little-endian reader; `ok` latches false on underrun and
+/// every subsequent read returns 0.
+struct Reader {
+  const char* p = nullptr;
+  std::size_t n = 0, pos = 0;
+  bool ok = true;
+
+  bool take(std::size_t k) {
+    if (!ok || n - pos < k) {
+      ok = false;
+      return false;
+    }
+    return true;
+  }
+  std::uint8_t u8() {
+    if (!take(1)) return 0;
+    return static_cast<unsigned char>(p[pos++]);
+  }
+  std::uint32_t u32() {
+    if (!take(4)) return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(static_cast<unsigned char>(p[pos + i]))
+           << (8 * i);
+    }
+    pos += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    if (!take(8)) return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(static_cast<unsigned char>(p[pos + i]))
+           << (8 * i);
+    }
+    pos += 8;
+    return v;
+  }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  /// Element-count sanity bound: no vector in the file may claim more
+  /// entries than bytes remaining (elements are >= 1 byte each).
+  std::uint32_t count() {
+    const std::uint32_t c = u32();
+    if (ok && c > n - pos) ok = false;
+    return ok ? c : 0;
+  }
+};
+
+inline void put_u64s(std::string& out, const std::vector<std::uint64_t>& v) {
+  put_u32(out, static_cast<std::uint32_t>(v.size()));
+  for (std::uint64_t x : v) put_u64(out, x);
+}
+
+inline std::vector<std::uint64_t> get_u64s(Reader& r) {
+  const std::uint32_t c = r.count();
+  std::vector<std::uint64_t> v;
+  v.reserve(c);
+  for (std::uint32_t i = 0; i < c && r.ok; ++i) v.push_back(r.u64());
+  return v;
+}
+
+}  // namespace tape_io_detail
+
+/// Encodes the tape into its canonical byte string.
+inline std::string serialize_tape(const Tape& t) {
+  namespace d = tape_io_detail;
+  std::string out;
+  out.append(kTapeMagic, sizeof(kTapeMagic));
+  d::put_u32(out, kTapeVersion);
+  d::put_u64(out, t.source_size);
+  d::put_u32(out, t.source_depth);
+  d::put_u64(out, t.source_nodes);
+  d::put_u32(out, t.num_regs);
+
+  d::put_u32(out, static_cast<std::uint32_t>(t.constants.size()));
+  for (std::size_t k = 0; k < t.constants.size(); ++k) {
+    d::put_i64(out, t.constants[k]);
+    d::put_u32(out, t.constant_slots[k]);
+  }
+  const auto put_slots = [&](const std::vector<std::uint32_t>& v) {
+    d::put_u32(out, static_cast<std::uint32_t>(v.size()));
+    for (std::uint32_t s : v) d::put_u32(out, s);
+  };
+  put_slots(t.input_slots);
+  put_slots(t.random_slots);
+  put_slots(t.output_slots);
+
+  d::put_u32(out, static_cast<std::uint32_t>(t.levels.size()));
+  for (const TapeLevel& lv : t.levels) {
+    d::put_u32(out, lv.first);
+    d::put_u32(out, lv.count);
+    d::put_u32(out, lv.divs);
+  }
+  d::put_u32(out, static_cast<std::uint32_t>(t.instrs.size()));
+  for (const TapeInstr& in : t.instrs) {
+    d::put_u8(out, static_cast<std::uint8_t>(in.op));
+    d::put_u32(out, in.dst);
+    d::put_u32(out, in.a);
+    d::put_u32(out, in.b);
+  }
+  for (NodeId id : t.instr_nodes) d::put_u32(out, id);
+
+  d::put_u32(out, static_cast<std::uint32_t>(t.tests.size()));
+  for (const TestVector& tv : t.tests) {
+    d::put_u64(out, tv.modulus);
+    d::put_u8(out, tv.ok ? 1 : 0);
+    d::put_u64s(out, tv.inputs);
+    d::put_u64s(out, tv.randoms);
+    d::put_u64s(out, tv.outputs);
+  }
+
+  d::put_u64(out, d::fnv1a(out.data(), out.size()));
+  return out;
+}
+
+/// Decodes and validates a serialized tape.
+inline kp::util::StatusOr<Tape> deserialize_tape(const std::string& bytes) {
+  namespace d = tape_io_detail;
+  const auto bad = [](const char* what) {
+    return kp::util::Status::Fail(kp::util::FailureKind::kInvalidArgument,
+                                  kp::util::Stage::kCircuitEval,
+                                  std::string("tape: ") + what);
+  };
+  if (bytes.size() < sizeof(kTapeMagic) + 4 + 8 ||
+      std::memcmp(bytes.data(), kTapeMagic, sizeof(kTapeMagic)) != 0) {
+    return bad("bad magic");
+  }
+  const std::size_t body = bytes.size() - 8;
+  const std::uint64_t want = d::fnv1a(bytes.data(), body);
+  d::Reader tail{bytes.data(), bytes.size(), body};
+  if (tail.u64() != want) return bad("checksum mismatch");
+
+  d::Reader r{bytes.data(), body, sizeof(kTapeMagic)};
+  if (r.u32() != kTapeVersion) return bad("unsupported version");
+
+  Tape t;
+  t.source_size = r.u64();
+  t.source_depth = r.u32();
+  t.source_nodes = r.u64();
+  t.num_regs = r.u32();
+
+  const std::uint32_t nconst = r.count();
+  for (std::uint32_t k = 0; k < nconst && r.ok; ++k) {
+    t.constants.push_back(r.i64());
+    t.constant_slots.push_back(r.u32());
+  }
+  const auto get_slots = [&](std::vector<std::uint32_t>& v) {
+    const std::uint32_t c = r.count();
+    for (std::uint32_t k = 0; k < c && r.ok; ++k) v.push_back(r.u32());
+  };
+  get_slots(t.input_slots);
+  get_slots(t.random_slots);
+  get_slots(t.output_slots);
+
+  const std::uint32_t nlevels = r.count();
+  for (std::uint32_t k = 0; k < nlevels && r.ok; ++k) {
+    TapeLevel lv;
+    lv.first = r.u32();
+    lv.count = r.u32();
+    lv.divs = r.u32();
+    t.levels.push_back(lv);
+  }
+  const std::uint32_t ninstr = r.count();
+  for (std::uint32_t k = 0; k < ninstr && r.ok; ++k) {
+    TapeInstr in;
+    in.op = static_cast<Op>(r.u8());
+    in.dst = r.u32();
+    in.a = r.u32();
+    in.b = r.u32();
+    t.instrs.push_back(in);
+  }
+  for (std::uint32_t k = 0; k < ninstr && r.ok; ++k) {
+    t.instr_nodes.push_back(r.u32());
+  }
+
+  const std::uint32_t ntests = r.count();
+  for (std::uint32_t k = 0; k < ntests && r.ok; ++k) {
+    TestVector tv;
+    tv.modulus = r.u64();
+    tv.ok = r.u8() != 0;
+    tv.inputs = d::get_u64s(r);
+    tv.randoms = d::get_u64s(r);
+    tv.outputs = d::get_u64s(r);
+    t.tests.push_back(std::move(tv));
+  }
+  if (!r.ok) return bad("truncated");
+  if (r.pos != body) return bad("trailing bytes");
+
+  // Structural validation: every slot in range, the instruction stream
+  // exactly covered by the level table, div counts honest, ops arithmetic.
+  const auto slot_ok = [&](std::uint32_t s) { return s < t.num_regs; };
+  for (std::uint32_t s : t.constant_slots) {
+    if (!slot_ok(s)) return bad("constant slot out of range");
+  }
+  for (std::uint32_t s : t.input_slots) {
+    if (s != kNoSlot && !slot_ok(s)) return bad("input slot out of range");
+  }
+  for (std::uint32_t s : t.random_slots) {
+    if (s != kNoSlot && !slot_ok(s)) return bad("random slot out of range");
+  }
+  for (std::uint32_t s : t.output_slots) {
+    if (!slot_ok(s)) return bad("output slot out of range");
+  }
+  std::uint32_t next = 0;
+  for (const TapeLevel& lv : t.levels) {
+    if (lv.first != next || lv.divs > lv.count) return bad("level table");
+    if (lv.count > ninstr - lv.first) return bad("level table");
+    for (std::uint32_t k = 0; k < lv.count; ++k) {
+      const TapeInstr& in = t.instrs[lv.first + k];
+      if (in.op != Op::kAdd && in.op != Op::kSub && in.op != Op::kMul &&
+          in.op != Op::kDiv && in.op != Op::kNeg) {
+        return bad("non-arithmetic op");
+      }
+      if ((in.op == Op::kDiv) != (k >= lv.count - lv.divs)) {
+        return bad("div placement");
+      }
+      if (!slot_ok(in.dst) || !slot_ok(in.a) || !slot_ok(in.b)) {
+        return bad("instr slot out of range");
+      }
+    }
+    next += lv.count;
+  }
+  if (next != ninstr) return bad("instrs outside levels");
+  return t;
+}
+
+/// Records a real evaluation over GF(modulus) with inputs/randoms drawn
+/// from `prng` as an embedded self-check.  Failed evaluations (the
+/// division-by-zero event) are recorded too, with ok == false.
+inline kp::util::Status add_test_vector(Tape& t, std::uint64_t modulus,
+                                        kp::util::Prng& prng) {
+  if (modulus < 2 || modulus >= (1ULL << 63)) {
+    return kp::util::Status::Fail(kp::util::FailureKind::kInvalidArgument,
+                                  kp::util::Stage::kCircuitEval,
+                                  "test vector modulus out of range");
+  }
+  const kp::field::GFp f(modulus);
+  TestVector tv;
+  tv.modulus = modulus;
+  std::vector<std::vector<std::uint64_t>> in(t.input_slots.size());
+  std::vector<std::vector<std::uint64_t>> rnd(t.random_slots.size());
+  for (std::size_t j = 0; j < in.size(); ++j) {
+    tv.inputs.push_back(f.random(prng));
+    in[j] = {tv.inputs.back()};
+  }
+  for (std::size_t j = 0; j < rnd.size(); ++j) {
+    tv.randoms.push_back(f.random(prng));
+    rnd[j] = {tv.randoms.back()};
+  }
+  const TapeEvaluator<kp::field::GFp> eval(f, t);
+  const auto res = eval.evaluate(in, rnd);
+  if (res.status.ok()) {
+    tv.ok = true;
+    for (const auto& lanes : res.outputs) tv.outputs.push_back(lanes[0]);
+  } else if (res.status.kind() == kp::util::FailureKind::kDivisionByZero) {
+    tv.ok = false;
+  } else {
+    return res.status;
+  }
+  t.tests.push_back(std::move(tv));
+  return kp::util::Status::Ok();
+}
+
+/// Replays every embedded test vector: a loaded artifact must reproduce
+/// its recorded outputs (and its recorded failures).  First mismatch is
+/// reported as kVerifyMismatch.
+inline kp::util::Status ensure(const Tape& t) {
+  for (std::size_t k = 0; k < t.tests.size(); ++k) {
+    const TestVector& tv = t.tests[k];
+    const auto mismatch = [&](const char* what) {
+      return kp::util::Status::Fail(
+          kp::util::FailureKind::kVerifyMismatch, kp::util::Stage::kCircuitEval,
+          "test vector " + std::to_string(k) + ": " + what);
+    };
+    if (tv.modulus < 2 || tv.modulus >= (1ULL << 63) ||
+        tv.inputs.size() != t.input_slots.size() ||
+        tv.randoms.size() != t.random_slots.size()) {
+      return mismatch("malformed");
+    }
+    const kp::field::GFp f(tv.modulus);
+    for (std::uint64_t v : tv.inputs) {
+      if (v >= tv.modulus) return mismatch("non-canonical input");
+    }
+    for (std::uint64_t v : tv.randoms) {
+      if (v >= tv.modulus) return mismatch("non-canonical random");
+    }
+    std::vector<std::vector<std::uint64_t>> in, rnd;
+    for (std::uint64_t v : tv.inputs) in.push_back({v});
+    for (std::uint64_t v : tv.randoms) rnd.push_back({v});
+    const TapeEvaluator<kp::field::GFp> eval(f, t);
+    const auto res = eval.evaluate(in, rnd);
+    if (tv.ok) {
+      if (!res.status.ok()) return mismatch("recorded success now fails");
+      if (tv.outputs.size() != res.outputs.size()) {
+        return mismatch("output arity changed");
+      }
+      for (std::size_t j = 0; j < tv.outputs.size(); ++j) {
+        if (res.outputs[j][0] != tv.outputs[j]) {
+          return mismatch("output value changed");
+        }
+      }
+    } else {
+      if (res.status.kind() != kp::util::FailureKind::kDivisionByZero) {
+        return mismatch("recorded failure no longer reproduces");
+      }
+    }
+  }
+  return kp::util::Status::Ok();
+}
+
+/// Writes serialize_tape(t) to `path`.
+inline kp::util::Status save_tape(const Tape& t, const std::string& path) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) {
+    return kp::util::Status::Fail(kp::util::FailureKind::kInvalidArgument,
+                                  kp::util::Stage::kCircuitEval,
+                                  "cannot open " + path);
+  }
+  const std::string bytes = serialize_tape(t);
+  f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!f) {
+    return kp::util::Status::Fail(kp::util::FailureKind::kInvalidArgument,
+                                  kp::util::Stage::kCircuitEval,
+                                  "write failed: " + path);
+  }
+  return kp::util::Status::Ok();
+}
+
+/// Reads, validates, and decodes a tape file.
+inline kp::util::StatusOr<Tape> load_tape(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) {
+    return kp::util::Status::Fail(kp::util::FailureKind::kInvalidArgument,
+                                  kp::util::Stage::kCircuitEval,
+                                  "cannot open " + path);
+  }
+  std::string bytes((std::istreambuf_iterator<char>(f)),
+                    std::istreambuf_iterator<char>());
+  return deserialize_tape(bytes);
+}
+
+}  // namespace kp::circuit

@@ -194,6 +194,68 @@ std::uint64_t dot_gather(const F& f, const std::uint64_t* val,
   return bar.reduce_full(acc);
 }
 
+/// Elementwise lane kernels -- the tape evaluator's per-level bodies
+/// (circuit/tape_eval.h).  Each charges the n logical operations a loop of
+/// the field's scalar calls would, and canonical residues are unique, so
+/// the vector and scalar bodies agree bit-for-bit.  dst may alias a or b.
+
+/// dst[i] = a[i] + b[i], n additions.
+template <FastField F>
+void add_lanes(const F& f, const std::uint64_t* a, const std::uint64_t* b,
+               std::uint64_t* dst, std::size_t n) {
+  kp::util::count_adds(n);
+  const std::uint64_t p = FieldKernels<F>::barrett(f).p;
+  if (simd::vec_mod_add(p, a, b, dst, n)) return;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t s = a[i] + b[i];
+    dst[i] = s >= p ? s - p : s;
+  }
+}
+
+/// dst[i] = a[i] - b[i], n subtractions.
+template <FastField F>
+void sub_lanes(const F& f, const std::uint64_t* a, const std::uint64_t* b,
+               std::uint64_t* dst, std::size_t n) {
+  kp::util::count_adds(n);
+  const std::uint64_t p = FieldKernels<F>::barrett(f).p;
+  if (simd::vec_mod_sub(p, a, b, dst, n)) return;
+  for (std::size_t i = 0; i < n; ++i) {
+    dst[i] = a[i] >= b[i] ? a[i] - b[i] : a[i] + p - b[i];
+  }
+}
+
+/// dst[i] = -a[i], n negations.
+template <FastField F>
+void neg_lanes(const F& f, const std::uint64_t* a, std::uint64_t* dst,
+               std::size_t n) {
+  kp::util::count_adds(n);
+  const std::uint64_t p = FieldKernels<F>::barrett(f).p;
+  if (simd::vec_mod_neg(p, a, dst, n)) return;
+  for (std::size_t i = 0; i < n; ++i) dst[i] = a[i] == 0 ? 0 : p - a[i];
+}
+
+/// dst[i] = a[i] * b[i] without charging -- for call sites that already
+/// priced the operation under another name (a division's numerator-times-
+/// inverse step).
+template <FastField F>
+void mul_lanes_uncounted(const F& f, const std::uint64_t* a,
+                         const std::uint64_t* b, std::uint64_t* dst,
+                         std::size_t n) {
+  const auto& bar = FieldKernels<F>::barrett(f);
+  if (simd::vec_mod_mul(bar, a, b, dst, n)) return;
+  for (std::size_t i = 0; i < n; ++i) {
+    dst[i] = FieldKernels<F>::mul_nocount(f, a[i], b[i]);
+  }
+}
+
+/// dst[i] = a[i] * b[i], n multiplications.
+template <FastField F>
+void mul_lanes(const F& f, const std::uint64_t* a, const std::uint64_t* b,
+               std::uint64_t* dst, std::size_t n) {
+  kp::util::count_muls(n);
+  mul_lanes_uncounted(f, a, b, dst, n);
+}
+
 /// Montgomery's batched-inversion trick: inverts a[0..n) in place with ONE
 /// extended Euclid and 3(n-1) uncounted multiplies.  Charged as n logical
 /// divisions -- the same price as n calls to f.inv() -- and the field

@@ -169,6 +169,7 @@ struct StatCounters {
   std::atomic<std::uint64_t> ntt{0};
   std::atomic<std::uint64_t> pointwise{0};
   std::atomic<std::uint64_t> scale{0};
+  std::atomic<std::uint64_t> vec{0};
 };
 
 inline StatCounters& stat_counters() {
@@ -232,6 +233,7 @@ struct SimdStats {
   std::uint64_t ntt = 0;
   std::uint64_t pointwise = 0;
   std::uint64_t scale = 0;
+  std::uint64_t vec = 0;
 };
 
 inline SimdStats simd_stats() {
@@ -247,6 +249,7 @@ inline SimdStats simd_stats() {
   s.ntt = c.ntt.load(std::memory_order_relaxed);
   s.pointwise = c.pointwise.load(std::memory_order_relaxed);
   s.scale = c.scale.load(std::memory_order_relaxed);
+  s.vec = c.vec.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -260,6 +263,7 @@ inline void reset_simd_stats() {
   c.ntt.store(0, std::memory_order_relaxed);
   c.pointwise.store(0, std::memory_order_relaxed);
   c.scale.store(0, std::memory_order_relaxed);
+  c.vec.store(0, std::memory_order_relaxed);
 }
 
 // ---------------------------------------------------------------------------
@@ -1000,6 +1004,153 @@ KP_TGT_AVX512 inline void shoup_scale_512(u64* c, std::size_t n, u64 w, u64 wq,
   for (; i < n; ++i) c[i] = fastmod::shoup_mul(c[i], w, wq, p);
 }
 
+// ---- elementwise lane bodies (tape batch evaluation) ----------------------
+// Canonical residues in, canonical residues out: dst[i] = a[i] op b[i] mod p.
+// a, b < p < 2^63, so a + b never wraps 2^64 and a - b never underflows
+// after the conditional +p -- the lanes are the literal transcription of the
+// fields' scalar formulas, and canonical uniqueness makes any correct
+// evaluation bit-identical anyway.
+
+/// dst[i] = a[i] + b[i] mod p (8 lanes; min-trick conditional subtract).
+KP_TGT_AVX512 inline void vec_add_512(u64 p, const u64* a, const u64* b,
+                                      u64* dst, std::size_t n) {
+  const __m512i vp = _mm512_set1_epi64(static_cast<long long>(p));
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i s = _mm512_add_epi64(_mm512_loadu_si512(a + i),
+                                       _mm512_loadu_si512(b + i));
+    _mm512_storeu_si512(dst + i, _mm512_min_epu64(s, _mm512_sub_epi64(s, vp)));
+  }
+  for (; i < n; ++i) {
+    const u64 s = a[i] + b[i];
+    dst[i] = s >= p ? s - p : s;
+  }
+}
+
+/// dst[i] = a[i] - b[i] mod p.
+KP_TGT_AVX512 inline void vec_sub_512(u64 p, const u64* a, const u64* b,
+                                      u64* dst, std::size_t n) {
+  const __m512i vp = _mm512_set1_epi64(static_cast<long long>(p));
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i x = _mm512_loadu_si512(a + i);
+    const __m512i y = _mm512_loadu_si512(b + i);
+    const __m512i d = _mm512_sub_epi64(x, y);
+    _mm512_storeu_si512(dst + i, _mm512_min_epu64(d, _mm512_add_epi64(d, vp)));
+  }
+  for (; i < n; ++i) dst[i] = a[i] >= b[i] ? a[i] - b[i] : a[i] + p - b[i];
+}
+
+/// dst[i] = -a[i] mod p (0 stays 0).
+KP_TGT_AVX512 inline void vec_neg_512(u64 p, const u64* a, u64* dst,
+                                      std::size_t n) {
+  const __m512i vp = _mm512_set1_epi64(static_cast<long long>(p));
+  const __m512i zero = _mm512_setzero_si512();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i x = _mm512_loadu_si512(a + i);
+    const __mmask8 nz = _mm512_cmpneq_epi64_mask(x, zero);
+    _mm512_storeu_si512(dst + i,
+                        _mm512_maskz_sub_epi64(nz, vp, x));
+  }
+  for (; i < n; ++i) dst[i] = a[i] == 0 ? 0 : p - a[i];
+}
+
+/// dst[i] = a[i] * b[i] mod p, canonical, via the vector Moller-Granlund
+/// reduction (the three-address rendition of pointwise_512).
+KP_TGT_AVX512 inline void vec_mul_512(const fastmod::Barrett& bar,
+                                      const u64* a, const u64* b, u64* dst,
+                                      std::size_t n) {
+  const __m128i sh = _mm_cvtsi32_si128(static_cast<int>(bar.shift));
+  const __m128i shc = _mm_cvtsi32_si128(static_cast<int>(64 - bar.shift));
+  const __m512i vv = _mm512_set1_epi64(static_cast<long long>(bar.v));
+  const __m512i vd = _mm512_set1_epi64(static_cast<long long>(bar.d));
+  const __m512i one = _mm512_set1_epi64(1);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i x = _mm512_loadu_si512(a + i);
+    const __m512i y = _mm512_loadu_si512(b + i);
+    const __m512i t_hi = mulhi64_512(x, y);
+    const __m512i t_lo = _mm512_mullo_epi64(x, y);
+    const __m512i nh = _mm512_or_si512(_mm512_sll_epi64(t_hi, sh),
+                                       _mm512_srl_epi64(t_lo, shc));
+    const __m512i nl = _mm512_sll_epi64(t_lo, sh);
+    const __m512i qh = mulhi64_512(vv, nh);
+    const __m512i ql = _mm512_mullo_epi64(vv, nh);
+    const __m512i sum_lo = _mm512_add_epi64(ql, nl);
+    const __mmask8 cy = _mm512_cmplt_epu64_mask(sum_lo, ql);
+    __m512i qh2 = _mm512_add_epi64(qh, _mm512_add_epi64(nh, one));
+    qh2 = _mm512_mask_add_epi64(qh2, cy, qh2, one);
+    __m512i r = _mm512_sub_epi64(nl, _mm512_mullo_epi64(qh2, vd));
+    const __mmask8 fix = _mm512_cmpgt_epu64_mask(r, sum_lo);
+    r = _mm512_mask_add_epi64(r, fix, r, vd);
+    const __mmask8 ge = _mm512_cmpge_epu64_mask(r, vd);
+    r = _mm512_mask_sub_epi64(r, ge, r, vd);
+    _mm512_storeu_si512(dst + i, _mm512_srl_epi64(r, sh));
+  }
+  for (; i < n; ++i) dst[i] = bar.mul(a[i], b[i]);
+}
+
+/// AVX2 add: 4 lanes; unsigned s >= p via the sign-bias signed compare
+/// (s can exceed 2^63, so both sides are biased by 2^63).
+KP_TGT_AVX2 inline void vec_add_256(u64 p, const u64* a, const u64* b,
+                                    u64* dst, std::size_t n) {
+  const __m256i vp = _mm256_set1_epi64x(static_cast<long long>(p));
+  const __m256i bias = _mm256_set1_epi64x(
+      static_cast<long long>(0x8000000000000000ULL));
+  const __m256i pm1b = _mm256_set1_epi64x(
+      static_cast<long long>((p - 1) ^ 0x8000000000000000ULL));
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i s = _mm256_add_epi64(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i)),
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i)));
+    const __m256i ge = _mm256_cmpgt_epi64(_mm256_xor_si256(s, bias), pm1b);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_sub_epi64(s, _mm256_and_si256(ge, vp)));
+  }
+  for (; i < n; ++i) {
+    const u64 s = a[i] + b[i];
+    dst[i] = s >= p ? s - p : s;
+  }
+}
+
+/// AVX2 sub: operands are canonical (< p < 2^63), so the signed compare
+/// needs no bias.
+KP_TGT_AVX2 inline void vec_sub_256(u64 p, const u64* a, const u64* b,
+                                    u64* dst, std::size_t n) {
+  const __m256i vp = _mm256_set1_epi64x(static_cast<long long>(p));
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i y =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    const __m256i lt = _mm256_cmpgt_epi64(y, x);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_add_epi64(_mm256_sub_epi64(x, y),
+                                         _mm256_and_si256(lt, vp)));
+  }
+  for (; i < n; ++i) dst[i] = a[i] >= b[i] ? a[i] - b[i] : a[i] + p - b[i];
+}
+
+/// AVX2 neg.
+KP_TGT_AVX2 inline void vec_neg_256(u64 p, const u64* a, u64* dst,
+                                    std::size_t n) {
+  const __m256i vp = _mm256_set1_epi64x(static_cast<long long>(p));
+  const __m256i zero = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i nz = _mm256_cmpeq_epi64(x, zero);
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(dst + i),
+        _mm256_andnot_si256(nz, _mm256_sub_epi64(vp, x)));
+  }
+  for (; i < n; ++i) dst[i] = a[i] == 0 ? 0 : p - a[i];
+}
+
 #undef KP_TGT_AVX2
 #undef KP_TGT_AVX512
 #undef KP_TGT_AVX512IFMA
@@ -1283,6 +1434,99 @@ inline bool ntt_shoup_scale(u64* c, std::size_t n, u64 w, u64 wq, u64 p) {
   (void)w;
   (void)wq;
   (void)p;
+  return false;
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// Elementwise lane kernels -- the tape evaluator's per-level bodies
+// (circuit/tape_eval.h).  dst may alias a or b; canonical in, canonical out.
+
+/// dst[i] = a[i] + b[i] mod p.
+inline bool vec_mod_add(u64 p, const u64* a, const u64* b, u64* dst,
+                        std::size_t n) {
+#if defined(KP_SIMD_X86)
+  const SimdLevel l = simd_level();
+  if (n < kMinSimdN || l < SimdLevel::kAvx2) return false;
+  if (l == SimdLevel::kAvx512) {
+    detail::vec_add_512(p, a, b, dst, n);
+    detail::bump(detail::stat_counters().vec, n / 8);
+  } else {
+    detail::vec_add_256(p, a, b, dst, n);
+    detail::bump(detail::stat_counters().vec, n / 4);
+  }
+  return true;
+#else
+  (void)p;
+  (void)a;
+  (void)b;
+  (void)dst;
+  (void)n;
+  return false;
+#endif
+}
+
+/// dst[i] = a[i] - b[i] mod p.
+inline bool vec_mod_sub(u64 p, const u64* a, const u64* b, u64* dst,
+                        std::size_t n) {
+#if defined(KP_SIMD_X86)
+  const SimdLevel l = simd_level();
+  if (n < kMinSimdN || l < SimdLevel::kAvx2) return false;
+  if (l == SimdLevel::kAvx512) {
+    detail::vec_sub_512(p, a, b, dst, n);
+    detail::bump(detail::stat_counters().vec, n / 8);
+  } else {
+    detail::vec_sub_256(p, a, b, dst, n);
+    detail::bump(detail::stat_counters().vec, n / 4);
+  }
+  return true;
+#else
+  (void)p;
+  (void)a;
+  (void)b;
+  (void)dst;
+  (void)n;
+  return false;
+#endif
+}
+
+/// dst[i] = -a[i] mod p.
+inline bool vec_mod_neg(u64 p, const u64* a, u64* dst, std::size_t n) {
+#if defined(KP_SIMD_X86)
+  const SimdLevel l = simd_level();
+  if (n < kMinSimdN || l < SimdLevel::kAvx2) return false;
+  if (l == SimdLevel::kAvx512) {
+    detail::vec_neg_512(p, a, dst, n);
+    detail::bump(detail::stat_counters().vec, n / 8);
+  } else {
+    detail::vec_neg_256(p, a, dst, n);
+    detail::bump(detail::stat_counters().vec, n / 4);
+  }
+  return true;
+#else
+  (void)p;
+  (void)a;
+  (void)dst;
+  (void)n;
+  return false;
+#endif
+}
+
+/// dst[i] = a[i] * b[i] mod p, canonical (AVX-512 only: the vector
+/// Moller-Granlund reduction needs mullo_epi64 and unsigned compares).
+inline bool vec_mod_mul(const fastmod::Barrett& bar, const u64* a,
+                        const u64* b, u64* dst, std::size_t n) {
+#if defined(KP_SIMD_X86)
+  if (n < kMinSimdN || simd_level() != SimdLevel::kAvx512) return false;
+  detail::vec_mul_512(bar, a, b, dst, n);
+  detail::bump(detail::stat_counters().vec, n / 8);
+  return true;
+#else
+  (void)bar;
+  (void)a;
+  (void)b;
+  (void)dst;
+  (void)n;
   return false;
 #endif
 }

@@ -58,9 +58,10 @@ enum class Stage : std::uint8_t {
   kSolveFinish,      ///< Cayley-Hamilton finish / unpreconditioning
   kVerify,           ///< Las Vegas verification A x = b
   kLift,             ///< section-5 field extension lift
+  kCircuitEval,      ///< evaluating a recorded circuit / compiled tape
 };
 
-inline constexpr int kStageCount = 10;
+inline constexpr int kStageCount = 11;
 
 inline const char* to_string(FailureKind k) {
   switch (k) {
@@ -91,6 +92,7 @@ inline const char* to_string(Stage s) {
     case Stage::kSolveFinish: return "solve-finish";
     case Stage::kVerify: return "verify";
     case Stage::kLift: return "lift";
+    case Stage::kCircuitEval: return "circuit-eval";
   }
   return "unknown";
 }
