@@ -2,9 +2,16 @@
 // systems.  Work is 2n black-box products + Berlekamp-Massey, i.e. O(n*nnz),
 // versus O(n^3) dense elimination: the sparse crossover the method exists
 // for.  Field independence is demonstrated over Z_p and GF(2^8).
+//
+// Second report (BENCH_block_wiedemann.json): the block-width sweep
+// b in {1, 2, 4, 8, 16} of block_wiedemann_solve_status on one large sparse
+// system.  b = 1 IS the scalar iterative route (the call delegates); every
+// block answer is cross-checked against it, so the sweep doubles as a
+// correctness gate in CI.  Exits non-zero on any mismatch.
 #include <cstdio>
 #include <vector>
 
+#include "core/block_krylov.h"
 #include "core/wiedemann.h"
 #include "field/gfpk.h"
 #include "field/zp.h"
@@ -24,6 +31,7 @@ int main() {
   F f;
   kp::util::Prng prng(4242);
   kp::util::BenchReport report("wiedemann");
+  bool all_ok = true;
 
   std::printf("E14 (section 2): sparse black-box solve, Wiedemann vs elimination\n\n");
   kp::util::Table t({"n", "nnz/row", "wiedemann ops", "gauss ops", "ratio", "check"});
@@ -50,6 +58,7 @@ int main() {
       const auto ops_g = s2.counts().total();
 
       const bool ok = sol && ref && *sol == x && *ref == x;
+      all_ok = all_ok && ok;
       t.add_row({std::to_string(n), std::to_string(per_row),
                  kp::util::Table::num(ops_w), kp::util::Table::num(ops_g),
                  kp::util::Table::num(static_cast<double>(ops_w) /
@@ -85,7 +94,11 @@ int main() {
     if (ok) {
       for (std::size_t i = 0; i < n; ++i) ok = ok && gf.eq((*sol)[i], x[i]);
     }
+    all_ok = all_ok && ok;
     std::printf("  n=%zu over GF(256): %s\n", n, ok ? "ok" : "FAIL");
+    report.begin_row("wiedemann_gf256");
+    report.put("n", n);
+    report.put("check", ok);
   }
 
   // Structured black box: Wiedemann over a Toeplitz operator, where every
@@ -119,6 +132,7 @@ int main() {
       const double ms = wt.elapsed_ms();
       const auto tstats = kp::poly::transform_stats();
       const bool ok = sol && *sol == x;
+      all_ok = all_ok && ok;
       tb.add_row({std::to_string(n), kp::util::Table::num(ms, 2),
                   kp::util::Table::num(tstats.forward),
                   kp::util::Table::num(tstats.forward_avoided),
@@ -132,5 +146,63 @@ int main() {
     }
     tb.print();
   }
-  return 0;
+
+  // Block-Wiedemann width sweep: one large sparse solve, b = 1 (the scalar
+  // iterative route -- block_wiedemann_solve_status delegates) against
+  // b in {2, 4, 8, 16}.  Blocking cuts the finish from n to ~n/b products
+  // and streams each CSR row stripe once per block instead of once per
+  // vector; the price is the b x b projection batches and the sigma-basis.
+  // Every block answer must equal the scalar route's answer exactly.
+  std::printf("\nBlock-Wiedemann width sweep (BENCH_block_wiedemann.json)\n\n");
+  {
+    kp::util::BenchReport breport("block_wiedemann");
+    const std::size_t n = 2048, per_row = 64;
+    kp::util::Prng psetup(90210);
+    auto sp = kp::matrix::Sparse<F>::random(f, n, per_row, psetup);
+    std::vector<F::Element> x_true(n);
+    for (auto& e : x_true) e = f.random(psetup);
+    const auto b = sp.apply(f, x_true);
+    kp::matrix::SparseBox<F> box(f, sp);
+
+    kp::util::Table ts({"b", "wall ms", "speedup vs b=1", "ops", "check"});
+    double base_ms = 0.0;
+    std::vector<F::Element> base_x;
+    for (std::size_t bw : {1u, 2u, 4u, 8u, 16u}) {
+      kp::util::Prng p(7117);  // same projection stream for every width
+      kp::util::WallTimer wt;
+      kp::util::OpScope s;
+      auto res = kp::core::block_wiedemann_solve_status(f, box, b, p,
+                                                        1u << 30, bw);
+      const double ms = wt.elapsed_ms();
+      const auto ops = s.counts().total();
+      bool ok = res.ok && sp.apply(f, res.x) == b;
+      if (bw == 1) {
+        base_ms = ms;
+        base_x = res.x;
+        ok = ok && res.x == x_true;
+      } else {
+        ok = ok && res.x == base_x;  // identical to the scalar route
+      }
+      all_ok = all_ok && ok;
+      const double speedup = ms > 0.0 ? base_ms / ms : 0.0;
+      ts.add_row({std::to_string(bw), kp::util::Table::num(ms, 2),
+                  kp::util::Table::num(speedup, 3), kp::util::Table::num(ops),
+                  ok ? "ok" : "FAIL"});
+      breport.begin_row("block_width_sweep");
+      breport.put("n", n);
+      breport.put("nnz_per_row", per_row);
+      breport.put("block_width", bw);
+      breport.put("wall_ms", ms);
+      breport.put("speedup_vs_b1", speedup);
+      breport.put("ops", ops);
+      breport.put("attempts", res.attempts);
+      breport.put("check", ok);
+    }
+    ts.print();
+    std::printf("\nb = 1 is the scalar iterative route; block answers are\n"
+                "cross-checked element-for-element against it.\n");
+  }
+
+  if (!all_ok) std::printf("\nFAIL: at least one cross-check mismatched\n");
+  return all_ok ? 0 : 1;
 }

@@ -1,0 +1,275 @@
+// Block Krylov projections for the block-Wiedemann route.
+//
+// The scalar iterative route drives 2n sequential black-box products
+// u A^i v one vector at a time; at sparse sizes below the parallel grain
+// every one of them runs serial and the pool sits idle.  Blocking by b
+// (Coppersmith's block Wiedemann; Kaltofen's analysis and
+// Eberly-Giesbrecht-Giorgi-Storjohann-Villard's block projections,
+// PAPERS.md) replaces them with ~2n/b block steps
+//
+//   S_i = Ut . A^i . V          (S_i is b x b, Ut is b x n, V is n x b)
+//
+// where each step is one apply_many over the right block -- one parallel
+// region across the (vector, row) grid of a CSR product, one batched
+// mul_many against a cached Toeplitz/Hankel spectrum -- plus a b x b batch
+// of SIMD dot products for the left projection.  Total apply work is
+// unchanged; the win is that every step saturates the ExecutionContext pool
+// and traverses the operator's data once per block instead of once per
+// vector.  All chunk boundaries depend only on (n, b), never on the worker
+// count: results are bit-identical for 1..N workers.
+//
+// The b x b sequence feeds seq::matrix_berlekamp_massey; the solve / det /
+// charpoly recovery on top lives in core/wiedemann.h.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "field/concepts.h"
+#include "field/kernels.h"
+#include "matrix/blackbox.h"
+#include "matrix/dense.h"
+#include "matrix/gauss.h"
+#include "poly/interp.h"
+#include "poly/poly.h"
+#include "pram/parallel_for.h"
+#include "seq/matrix_berlekamp_massey.h"
+#include "util/op_count.h"
+#include "util/prng.h"
+#include "util/status.h"
+
+namespace kp::core {
+
+namespace detail {
+
+/// dst[i] += coef * src[i]; fused bulk-counted loop for word-sized prime
+/// fields, element-identical generic loop otherwise (see field/kernels.h
+/// contract).
+template <kp::field::Field F>
+void axpy_add(const F& f, typename F::Element* dst,
+              const typename F::Element* src, std::size_t len,
+              const typename F::Element& coef) {
+  if (len == 0) return;
+  if constexpr (kp::field::kernels::FastField<F>) {
+    kp::util::count_muls(len);
+    kp::util::count_adds(len);
+    const std::uint64_t p = kp::field::FieldKernels<F>::barrett(f).p;
+    for (std::size_t i = 0; i < len; ++i) {
+      const std::uint64_t t = kp::field::kernels::mul_uncounted(f, coef, src[i]);
+      const std::uint64_t s = dst[i] + t;
+      dst[i] = s >= p ? s - p : s;
+    }
+  } else {
+    for (std::size_t i = 0; i < len; ++i) {
+      dst[i] = f.add(dst[i], f.mul(coef, src[i]));
+    }
+  }
+}
+
+/// Contiguous inner product of length n (the left-projection kernel): the
+/// SIMD dot for word-sized prime fields, the linear chain otherwise.
+template <kp::field::Field F>
+typename F::Element row_dot(const F& f, const typename F::Element* a,
+                            const typename F::Element* b, std::size_t n) {
+  if constexpr (kp::field::kernels::FastField<F>) {
+    return kp::field::kernels::dot(f, a, b, n);
+  } else {
+    auto acc = f.zero();
+    for (std::size_t i = 0; i < n; ++i) acc = f.add(acc, f.mul(a[i], b[i]));
+    return acc;
+  }
+}
+
+}  // namespace detail
+
+/// Draws a b x n block of left-projection rows with entries from the sample
+/// set S (the rows are the b left vectors, stored contiguously so the
+/// projection dots are stride-1 on both sides).
+template <kp::field::Field F>
+matrix::Matrix<F> random_block_rows(const F& f, std::size_t b, std::size_t n,
+                                    kp::util::Prng& prng, std::uint64_t s) {
+  matrix::Matrix<F> ut(b, n, f.zero());
+  for (std::size_t i = 0; i < b; ++i) {
+    for (std::size_t j = 0; j < n; ++j) ut.at(i, j) = f.sample(prng, s);
+  }
+  return ut;
+}
+
+/// Draws b random n-vectors with entries from the sample set S.
+template <kp::field::Field F>
+std::vector<std::vector<typename F::Element>> random_block_columns(
+    const F& f, std::size_t b, std::size_t n, kp::util::Prng& prng,
+    std::uint64_t s) {
+  std::vector<std::vector<typename F::Element>> v(b);
+  for (auto& col : v) {
+    col.resize(n);
+    for (auto& e : col) e = f.sample(prng, s);
+  }
+  return v;
+}
+
+/// The b x b left projection Ut . X of a block X of columns.  The b^2 dots
+/// are independent; above the parallel grain they are chunked over the pool
+/// with boundaries that depend only on (b, n).
+template <kp::field::Field F>
+matrix::Matrix<F> block_project(
+    const F& f, const matrix::Matrix<F>& ut,
+    const std::vector<std::vector<typename F::Element>>& x) {
+  const std::size_t b = ut.rows();
+  const std::size_t n = ut.cols();
+  matrix::Matrix<F> s(b, x.size(), f.zero());
+  auto cell = [&](std::size_t idx) {
+    const std::size_t r = idx / x.size();
+    const std::size_t c = idx % x.size();
+    assert(x[c].size() == n);
+    s.at(r, c) = detail::row_dot(f, ut.row(r), x[c].data(), n);
+  };
+  if (kp::field::concurrent_ops_v<F> && b * x.size() > 1 &&
+      b * x.size() * n >= matrix::kParallelGrain) {
+    kp::pram::parallel_for(0, b * x.size(), cell);
+  } else {
+    for (std::size_t idx = 0; idx < b * x.size(); ++idx) cell(idx);
+  }
+  return s;
+}
+
+/// Computes the block Krylov sequence {S_i = Ut . A^i . V : 0 <= i < count}
+/// iteratively: (count - 1) block applies (each one apply_many through the
+/// operator's batch path) and count b x b projection batches.
+template <kp::field::Field F, matrix::LinOp B>
+  requires std::same_as<typename B::Element, typename F::Element>
+std::vector<matrix::Matrix<F>> block_krylov_sequence(
+    const F& f, const B& box,
+    const matrix::Matrix<F>& ut,
+    const std::vector<std::vector<typename F::Element>>& v,
+    std::size_t count) {
+  std::vector<matrix::Matrix<F>> seq;
+  seq.reserve(count);
+  auto x = v;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (i) x = matrix::apply_columns(box, x);
+    seq.push_back(block_project(f, ut, x));
+  }
+  return seq;
+}
+
+/// The same sequence built from the left: W_0 = rows of Ut,
+/// W_i = A^T W_{i-1}, S_i(r, c) = W_i[r] . v_c.  Exercises the
+/// transpose-side batch path (cached transpose spectra, one CSR pass per
+/// block); values are identical to block_krylov_sequence by associativity.
+template <kp::field::Field F, matrix::TransposableLinOp B>
+  requires std::same_as<typename B::Element, typename F::Element>
+std::vector<matrix::Matrix<F>> block_krylov_sequence_transposed(
+    const F& f, const B& box,
+    const matrix::Matrix<F>& ut,
+    const std::vector<std::vector<typename F::Element>>& v,
+    std::size_t count) {
+  const std::size_t b = ut.rows();
+  const std::size_t n = ut.cols();
+  std::vector<std::vector<typename F::Element>> w(b);
+  for (std::size_t r = 0; r < b; ++r) {
+    w[r].assign(ut.row(r), ut.row(r) + n);
+  }
+  std::vector<matrix::Matrix<F>> seq;
+  seq.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (i) w = matrix::apply_transpose_columns(box, w);
+    matrix::Matrix<F> s(b, v.size(), f.zero());
+    for (std::size_t r = 0; r < b; ++r) {
+      for (std::size_t c = 0; c < v.size(); ++c) {
+        s.at(r, c) = detail::row_dot(f, w[r].data(), v[c].data(), n);
+      }
+    }
+    seq.push_back(std::move(s));
+  }
+  return seq;
+}
+
+/// V . c: the n-vector sum_k c[k] v_k of a block against a K^b coefficient.
+template <kp::field::Field F>
+std::vector<typename F::Element> block_combine(
+    const F& f, const std::vector<std::vector<typename F::Element>>& v,
+    const std::vector<typename F::Element>& coeff) {
+  assert(!v.empty() && coeff.size() == v.size());
+  std::vector<typename F::Element> out(v[0].size(), f.zero());
+  for (std::size_t k = 0; k < v.size(); ++k) {
+    if (f.eq(coeff[k], f.zero())) continue;
+    detail::axpy_add(f, out.data(), v[k].data(), out.size(), coeff[k]);
+  }
+  return out;
+}
+
+namespace detail {
+
+/// det G(x) of the first b generator columns, computed by evaluation at
+/// deg+1 distinct points (Horner per column, det_gauss per point, points
+/// chunked over the pool) and interpolation.  For the preconditioned
+/// operator of Theorem 2 the minimal generator's determinant is a scalar
+/// multiple of the characteristic polynomial (the b x b block analogue of
+/// Lemma 2's f_u = f^A), which is exactly what the solve / det recovery
+/// needs.  Fails with kSampleSetTooSmall when the field has fewer than
+/// deg+1 distinct points of the canonical from_int enumeration.
+template <kp::field::Field F>
+kp::util::StatusOr<std::vector<typename F::Element>> generator_determinant(
+    const F& f, const seq::BlockGenerator<F>& gen) {
+  using E = typename F::Element;
+  using kp::util::FailureKind;
+  using kp::util::Stage;
+  using kp::util::Status;
+
+  const std::size_t b = gen.block;
+  if (gen.columns.size() < b) {
+    return Status::Fail(FailureKind::kDegenerateProjection,
+                        Stage::kBlockGenerator,
+                        "fewer than b verified generator columns");
+  }
+  std::size_t deg = 0;
+  for (std::size_t c = 0; c < b; ++c) deg += gen.degrees[c];
+  const std::uint64_t p = f.characteristic();
+  if (p != 0 && p < deg + 1) {
+    return Status::Fail(FailureKind::kSampleSetTooSmall,
+                        Stage::kBlockGenerator,
+                        "field too small for det-by-interpolation");
+  }
+
+  std::vector<E> points(deg + 1);
+  for (std::size_t i = 0; i <= deg; ++i) {
+    points[i] = f.from_int(static_cast<std::int64_t>(i));
+  }
+  std::vector<E> values(deg + 1, f.zero());
+  auto eval_point = [&](std::size_t i) {
+    matrix::Matrix<F> g(b, b, f.zero());
+    for (std::size_t c = 0; c < b; ++c) {
+      const auto& col = gen.columns[c];
+      std::vector<E> acc(b, f.zero());
+      for (std::size_t j = col.size(); j-- > 0;) {
+        for (std::size_t r = 0; r < b; ++r) {
+          acc[r] = f.add(f.mul(acc[r], points[i]), col[j][r]);
+        }
+      }
+      for (std::size_t r = 0; r < b; ++r) g.at(r, c) = acc[r];
+    }
+    values[i] = matrix::det_gauss(f, g);
+  };
+  if (kp::field::concurrent_ops_v<F> && deg > 0 &&
+      (deg + 1) * b * b * b >= matrix::kParallelGrain) {
+    kp::pram::parallel_for(0, deg + 1, eval_point);
+  } else {
+    for (std::size_t i = 0; i <= deg; ++i) eval_point(i);
+  }
+
+  kp::poly::PolyRing<F> ring(f);
+  auto det = kp::poly::interpolate(ring, points, values);
+  ring.strip(det);
+  if (det.empty()) {
+    return Status::Fail(FailureKind::kDegenerateProjection,
+                        Stage::kBlockGenerator, "det of generator is zero");
+  }
+  return det;
+}
+
+}  // namespace detail
+
+}  // namespace kp::core

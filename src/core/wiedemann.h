@@ -21,10 +21,12 @@
 #include <vector>
 
 #include "core/annihilator.h"
+#include "core/block_krylov.h"
 #include "core/preconditioners.h"
 #include "field/concepts.h"
 #include "matrix/blackbox.h"
 #include "seq/berlekamp_massey.h"
+#include "seq/matrix_berlekamp_massey.h"
 #include "util/fault.h"
 #include "util/prng.h"
 #include "util/status.h"
@@ -263,6 +265,339 @@ DetResult<F> wiedemann_det(const F& f, const matrix::Matrix<F>& a,
       if (f.eq(det_hd, f.zero())) {
         // Cannot happen organically when g(0) != 0; reachable via the
         // Preconditioner::det fault site.
+        return Status::Fail(FailureKind::kSingularPrecondition,
+                            Stage::kPrecondition, "det(H D) = 0");
+      }
+      res.value = f.div(det_at, det_hd);
+      return Status::Ok();
+    }();
+
+    diag.kind = st.kind();
+    diag.stage = st.stage();
+    diag.injected = st.injected();
+    diag.ops = ops.counts();
+    res.diags.push_back(diag);
+    if (st.ok()) {
+      res.ok = true;
+      res.status = st;
+      return res;
+    }
+    last = st;
+
+    bool want_pre, want_proj;
+    switch (st.kind()) {
+      case FailureKind::kDegenerateProjection:
+        want_pre = false;
+        want_proj = true;
+        break;
+      case FailureKind::kSingularPrecondition:
+      case FailureKind::kZeroConstantTerm:
+        want_pre = true;
+        want_proj = false;
+        break;
+      default:
+        want_pre = true;
+        want_proj = true;
+        break;
+    }
+    if (!want_pre && proj_alone) want_pre = true;
+    if (!want_proj && pre_alone) want_proj = true;
+    if (want_pre && want_proj) {
+      pre_alone = proj_alone = false;
+    } else if (want_proj) {
+      proj_alone = true;
+    } else {
+      pre_alone = true;
+    }
+    redraw_pre = want_pre;
+    redraw_proj = want_proj;
+  }
+  res.status = last;
+  return res;
+}
+
+namespace detail {
+
+/// One block-Wiedemann charpoly attempt: draw U (b x n rows) and V (b
+/// columns) from `r`, run the block Krylov sequence and the sigma-basis,
+/// and return det G normalized monic.  For the Theorem-2 preconditioned
+/// operator (minpoly = charpoly, degree n) the minimal generator's
+/// determinant is a scalar multiple of the characteristic polynomial
+/// w.h.p.; the caller enforces deg = n.  Fault sites cover both new stages
+/// so the retry paths are deterministically reachable.
+template <kp::field::Field F, matrix::LinOp B>
+  requires std::same_as<typename B::Element, typename F::Element>
+kp::util::StatusOr<std::vector<typename F::Element>> block_charpoly_candidate(
+    const F& f, const B& box, std::size_t block_width, kp::util::Prng& r,
+    std::uint64_t s) {
+  using util::FailureKind;
+  using util::Stage;
+  using util::Status;
+  const std::size_t n = box.dim();
+  const std::size_t bw = block_width < n ? block_width : n;
+  const auto ut = random_block_rows(f, bw, n, r, s);
+  const auto v = random_block_columns(f, bw, n, r, s);
+  const std::size_t count = 2 * ((n + bw - 1) / bw) + 2;
+  const auto sq = block_krylov_sequence(f, box, ut, v, count);
+  if (KP_FAULT_POINT(Stage::kBlockProjection)) {
+    return Status::Injected(FailureKind::kDegenerateProjection,
+                            Stage::kBlockProjection);
+  }
+  auto gen = seq::matrix_berlekamp_massey(f, sq);
+  if (!gen.ok()) return gen.status();
+  if (KP_FAULT_POINT(Stage::kBlockGenerator)) {
+    return Status::Injected(FailureKind::kDegenerateProjection,
+                            Stage::kBlockGenerator);
+  }
+  auto det = detail::generator_determinant(f, gen.value());
+  if (!det.ok()) return det.status();
+  auto g = det.take();
+  if (!f.eq(g.back(), f.one())) {
+    const auto ilc = f.inv(g.back());
+    for (auto& e : g) e = f.mul(e, ilc);
+  }
+  return g;
+}
+
+}  // namespace detail
+
+/// Block-Wiedemann solve of A x = b for non-singular A (Coppersmith).  The
+/// right block is V = [b | A z_1 | ... | A z_{bw-1}] for random z_k, so a
+/// generator column c with (c_0)_1 != 0 yields sum_j A^j V c_j = 0 and the
+/// solution reads off by Horner:
+///
+///   x = -(1/(c_0)_1) (Z c_0' + sum_{j>=1} A^{j-1} V c_j)
+///
+/// with only deg(c) <= ceil(n/bw) + 1 single-vector products in the finish
+/// -- versus ~n in the scalar route's Cayley-Hamilton combination.  The
+/// sequence phase runs ~2 ceil(n/bw) block steps, each one batched
+/// apply_many plus a b x b SIMD projection, instead of 2n serial applies.
+/// Every candidate is Las-Vegas-verified (A x = b); degenerate blocks
+/// surface as kDegenerateProjection and re-draw U, V, Z from the attempt's
+/// forked, replayable seed.  block_width <= 1 falls back to the scalar
+/// route (identical results and diagnostics).
+template <kp::field::Field F, matrix::LinOp B>
+WiedemannSolveResult<F> block_wiedemann_solve_status(
+    const F& f, const B& box, const std::vector<typename F::Element>& b,
+    kp::util::Prng& prng, std::uint64_t s, std::size_t block_width,
+    int max_attempts = 3) {
+  using E = typename F::Element;
+  using util::FailureKind;
+  using util::Stage;
+  using util::Status;
+  const std::size_t n = box.dim();
+  if (block_width <= 1 || n <= 1) {
+    return wiedemann_solve_status(f, box, b, prng, s, max_attempts);
+  }
+  const std::size_t bw = block_width < n ? block_width : n;
+
+  WiedemannSolveResult<F> res;
+  const Status valid =
+      util::Require(b.size() == n && max_attempts >= 1,
+                    FailureKind::kInvalidArgument, Stage::kNone,
+                    "dim(b) != dim(A) or max_attempts < 1");
+  if (!valid.ok()) {
+    res.status = valid;
+    return res;
+  }
+
+  Status last = Status::Fail(FailureKind::kDegenerateProjection,
+                             Stage::kBlockProjection, "no attempt run");
+  for (res.attempts = 1; res.attempts <= max_attempts; ++res.attempts) {
+    kp::util::fault::AttemptScope attempt_scope(res.attempts);
+    kp::util::OpScope ops;
+    util::Diag diag;
+    diag.attempt = res.attempts;
+    diag.sample_size = s;
+    diag.redrew_projection = true;  // U, V, Z are the attempt's randomness
+
+    const Status st = [&]() -> Status {
+      kp::util::Prng r = prng.fork(static_cast<std::uint64_t>(res.attempts));
+      diag.projection_seed = r.seed();
+      const auto ut = random_block_rows(f, bw, n, r, s);
+      const auto z = random_block_columns(f, bw - 1, n, r, s);
+      // V = [b | A Z]: Coppersmith's construction, so the x^0 coefficient
+      // of a generator column carries b's contribution explicitly.
+      std::vector<std::vector<E>> v;
+      v.reserve(bw);
+      v.push_back(b);
+      for (auto& az : matrix::apply_columns(box, z)) v.push_back(std::move(az));
+      const std::size_t count = 2 * ((n + bw - 1) / bw) + 2;
+      const auto sq = block_krylov_sequence(f, box, ut, v, count);
+      if (KP_FAULT_POINT(Stage::kBlockProjection)) {
+        return Status::Injected(FailureKind::kDegenerateProjection,
+                                Stage::kBlockProjection);
+      }
+      auto gen_or = seq::matrix_berlekamp_massey(f, sq);
+      if (!gen_or.ok()) return gen_or.status();
+      if (KP_FAULT_POINT(Stage::kBlockGenerator)) {
+        return Status::Injected(FailureKind::kDegenerateProjection,
+                                Stage::kBlockGenerator);
+      }
+      const auto& gen = gen_or.value();
+      // First (lowest-degree) column whose constant coefficient touches b.
+      std::size_t pick = gen.columns.size();
+      for (std::size_t c = 0; c < gen.columns.size(); ++c) {
+        if (!f.eq(gen.columns[c][0][0], f.zero())) {
+          pick = c;
+          break;
+        }
+      }
+      if (pick == gen.columns.size()) {
+        return Status::Fail(FailureKind::kDegenerateProjection,
+                            Stage::kBlockGenerator,
+                            "no generator column usable for extraction");
+      }
+      const auto& col = gen.columns[pick];
+      const std::size_t d = col.size() - 1;
+      // w = sum_{j>=1} A^{j-1} V c_j by Horner: d block combinations and
+      // d - 1 single-vector products.
+      std::vector<E> w(n, f.zero());
+      if (d >= 1) {
+        w = block_combine(f, v, col[d]);
+        for (std::size_t j = d; j-- > 1;) {
+          w = box.apply(w);
+          const auto vc = block_combine(f, v, col[j]);
+          for (std::size_t i = 0; i < n; ++i) w[i] = f.add(w[i], vc[i]);
+        }
+      }
+      if (bw > 1) {
+        const std::vector<E> ctail(col[0].begin() + 1, col[0].end());
+        const auto zc = block_combine(f, z, ctail);
+        for (std::size_t i = 0; i < n; ++i) w[i] = f.add(w[i], zc[i]);
+      }
+      const E scale = f.neg(f.inv(col[0][0]));
+      std::vector<E> x(n);
+      for (std::size_t i = 0; i < n; ++i) x[i] = f.mul(scale, w[i]);
+      if (KP_FAULT_POINT(Stage::kVerify)) {
+        return Status::Injected(FailureKind::kVerifyMismatch, Stage::kVerify);
+      }
+      if (box.apply(x) != b) {
+        return Status::Fail(FailureKind::kVerifyMismatch, Stage::kVerify,
+                            "A x != b");
+      }
+      res.x = std::move(x);
+      return Status::Ok();
+    }();
+
+    diag.kind = st.kind();
+    diag.stage = st.stage();
+    diag.injected = st.injected();
+    diag.ops = ops.counts();
+    res.diags.push_back(diag);
+    if (st.ok()) {
+      res.ok = true;
+      res.status = st;
+      return res;
+    }
+    last = st;
+  }
+  res.status = last;
+  return res;
+}
+
+/// Legacy optional-returning form of block_wiedemann_solve_status.
+template <kp::field::Field F, matrix::LinOp B>
+std::optional<std::vector<typename F::Element>> block_wiedemann_solve(
+    const F& f, const B& box, const std::vector<typename F::Element>& b,
+    kp::util::Prng& prng, std::uint64_t s, std::size_t block_width,
+    int max_attempts = 3) {
+  auto res =
+      block_wiedemann_solve_status(f, box, b, prng, s, block_width, max_attempts);
+  if (!res.ok) return std::nullopt;
+  return std::move(res.x);
+}
+
+/// Determinant by the block-Wiedemann route: the Theorem-2 preconditioner
+/// makes minpoly = charpoly w.h.p., the block generator's determinant is
+/// then a scalar multiple of the charpoly of A-tilde, and
+/// det(A) = (-1)^n g(0) / det(H D) exactly as in the scalar route.  Retries
+/// are stage-targeted with the same policy switch as wiedemann_det:
+/// degenerate block projections / generators re-draw only U, V, a zero
+/// constant term or singular H/D re-draws only the preconditioner.  Fields
+/// too small for the det-by-interpolation step (characteristic <= 2n + 1)
+/// and block_width <= 1 fall back to the scalar route.
+template <kp::field::Field F>
+DetResult<F> block_wiedemann_det(const F& f, const matrix::Matrix<F>& a,
+                                 kp::util::Prng& prng, std::uint64_t s,
+                                 std::size_t block_width, int max_attempts = 3) {
+  using util::FailureKind;
+  using util::Stage;
+  using util::Status;
+  const std::size_t n = a.rows();
+  const std::uint64_t p = f.characteristic();
+  if (block_width <= 1 || n <= 1 || (p != 0 && p < 2 * n + 2)) {
+    return wiedemann_det(f, a, prng, s, max_attempts);
+  }
+  const std::size_t bw = block_width < n ? block_width : n;
+
+  DetResult<F> res;
+  const Status valid =
+      util::Require(a.is_square() && n > 0 && max_attempts >= 1,
+                    FailureKind::kInvalidArgument, Stage::kNone,
+                    "A must be square and max_attempts >= 1");
+  if (!valid.ok()) {
+    res.status = valid;
+    return res;
+  }
+  kp::poly::PolyRing<F> ring(f);
+
+  kp::util::Prng pre_stream = prng.fork(0x7072652d48440000ULL);   // "pre-HD"
+  kp::util::Prng proj_stream = prng.fork(0x70726f6a2d757600ULL);  // "proj-uv"
+  std::optional<Preconditioner<F>> pre;
+  std::optional<matrix::Matrix<F>> at;
+  std::uint64_t pre_seed = 0, proj_seed = 0;
+  bool redraw_pre = true, redraw_proj = true;
+  bool pre_alone = false, proj_alone = false;
+  Status last = Status::Fail(FailureKind::kDegenerateProjection,
+                             Stage::kBlockProjection, "no attempt run");
+
+  for (res.attempts = 1; res.attempts <= max_attempts; ++res.attempts) {
+    kp::util::fault::AttemptScope attempt_scope(res.attempts);
+    kp::util::OpScope ops;
+    util::Diag diag;
+    diag.attempt = res.attempts;
+    diag.sample_size = s;
+
+    const Status st = [&]() -> Status {
+      if (redraw_pre) {
+        kp::util::Prng r =
+            pre_stream.fork(static_cast<std::uint64_t>(res.attempts));
+        pre_seed = r.seed();
+        pre = Preconditioner<F>::draw(f, n, r, s);
+        at = pre->apply_dense(f, ring, a);
+      }
+      diag.precondition_seed = pre_seed;
+      diag.redrew_precondition = redraw_pre;
+      diag.redrew_projection = redraw_proj;
+
+      matrix::DenseBox<F> box(f, *at);
+      // A kept projection replays its recorded seed bit-for-bit (fork()
+      // consumes parent state, so re-forking would NOT reproduce it).
+      if (redraw_proj) {
+        proj_seed =
+            proj_stream.fork(static_cast<std::uint64_t>(res.attempts)).seed();
+      }
+      kp::util::Prng r{proj_seed};
+      diag.projection_seed = proj_seed;
+      auto g_or = detail::block_charpoly_candidate(f, box, bw, r, s);
+      if (!g_or.ok()) return g_or.status();
+      const auto& g = g_or.value();
+      if (g.size() != n + 1) {
+        return Status::Fail(FailureKind::kDegenerateProjection,
+                            Stage::kBlockGenerator, "deg det G != n");
+      }
+      if (KP_FAULT_POINT(Stage::kCharpoly)) {
+        return Status::Injected(FailureKind::kZeroConstantTerm,
+                                Stage::kCharpoly);
+      }
+      if (f.eq(g[0], f.zero())) {
+        return Status::Fail(FailureKind::kZeroConstantTerm, Stage::kCharpoly,
+                            "g(0) = 0: A-tilde singular");
+      }
+      const auto det_at = (n % 2 == 0) ? g[0] : f.neg(g[0]);
+      const auto det_hd = pre->det(f);
+      if (f.eq(det_hd, f.zero())) {
         return Status::Fail(FailureKind::kSingularPrecondition,
                             Stage::kPrecondition, "det(H D) = 0");
       }

@@ -194,6 +194,40 @@ std::uint64_t dot_gather(const F& f, const std::uint64_t* val,
   return bar.reduce_full(acc);
 }
 
+/// Whether spmm_row has a vector path for this field at the current dispatch
+/// level.  Batched callers check once and pick the transposed-block layout
+/// only when it pays.
+template <FastField F>
+bool spmm_ready(const F& f) {
+  return simd::spmm_ready(FieldKernels<F>::barrett(f));
+}
+
+/// Batched CSR row product against a row-major n x b transposed block:
+/// out[k] = sum_j val[j] * xt[col[j] * b + k] for a chunk of <= 8 block
+/// columns.  Replaces `chunk` gathered dots with contiguous masked loads --
+/// the same linear reduction chains, so values match dot_gather per lane.
+/// Charges nothing: the caller accounts the whole row batch in bulk.
+template <FastField F>
+void spmm_row(const F& f, const std::uint64_t* val, const std::size_t* col,
+              std::size_t len, const std::uint64_t* xt, std::size_t b,
+              std::size_t chunk, std::uint64_t* out) {
+  const auto& bar = FieldKernels<F>::barrett(f);
+  if (simd::spmm_row(bar, val, col, xt, b, chunk, len, out)) return;
+  const std::uint64_t cap = bar.dcap;
+  for (std::size_t k = 0; k < chunk; ++k) {
+    fastmod::u128 acc = 0;
+    std::uint64_t left = cap;
+    for (std::size_t j = 0; j < len; ++j) {
+      acc += static_cast<fastmod::u128>(val[j]) * xt[col[j] * b + k];
+      if (--left == 0) {
+        acc = bar.reduce_full(acc);
+        left = cap;
+      }
+    }
+    out[k] = bar.reduce_full(acc);
+  }
+}
+
 /// Elementwise lane kernels -- the tape evaluator's per-level bodies
 /// (circuit/tape_eval.h).  Each charges the n logical operations a loop of
 /// the field's scalar calls would, and canonical residues are unique, so

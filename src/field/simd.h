@@ -164,6 +164,7 @@ struct StatCounters {
   std::atomic<std::uint64_t> dot{0};
   std::atomic<std::uint64_t> sum{0};
   std::atomic<std::uint64_t> gather{0};
+  std::atomic<std::uint64_t> spmm{0};
   std::atomic<std::uint64_t> skip_zero{0};
   std::atomic<std::uint64_t> batch_inverse{0};
   std::atomic<std::uint64_t> ntt{0};
@@ -674,6 +675,43 @@ KP_TGT_AVX512 inline u64 dot_gather_512(const fastmod::Barrett& bar,
   return bar.reduce_full(t);
 }
 
+// ---- batched CSR row product (SpMM) ---------------------------------------
+
+/// One CSR row against a row-major n x b block for p <= 2^29:
+/// out[k] = sum_j val[j] * xt[col[j] * b + k] for a lane chunk of up to 8
+/// block columns.  The block transpose makes every entry's products
+/// contiguous loads -- no gathers, one vpmuludq per entry per 8 columns --
+/// which is the batched sparse apply's main single-core advantage over
+/// per-vector dot_gather.  Masked lanes cover chunk < 8 (masked-off lanes
+/// never touch memory).  64-bit lane accumulators spill into exact u128
+/// totals, so the result is the canonical residue of the true sum.
+KP_TGT_AVX512 inline void spmm_row_smallp_512(const fastmod::Barrett& bar,
+                                              const u64* val,
+                                              const std::size_t* col,
+                                              const u64* xt, std::size_t b,
+                                              std::size_t chunk,
+                                              std::size_t nnz, u64* out) {
+  const __mmask8 m = static_cast<__mmask8>((1u << chunk) - 1);
+  const u64 cap = ~u64{0} / ((bar.p - 1) * (bar.p - 1));
+  u128 acc[8] = {};
+  u64 tmp[8];
+  std::size_t j = 0;
+  while (j < nnz) {
+    std::size_t iters = nnz - j;
+    if (iters > cap) iters = cap;
+    const std::size_t end = j + iters;
+    __m512i s = _mm512_setzero_si512();
+    for (; j < end; ++j) {
+      const __m512i vx = _mm512_maskz_loadu_epi64(m, xt + col[j] * b);
+      const __m512i vv = _mm512_set1_epi64(static_cast<long long>(val[j]));
+      s = _mm512_add_epi64(s, _mm512_mul_epu32(vv, vx));
+    }
+    _mm512_storeu_si512(tmp, s);
+    for (std::size_t k = 0; k < chunk; ++k) acc[k] += tmp[k];
+  }
+  for (std::size_t k = 0; k < chunk; ++k) out[k] = bar.reduce_full(acc[k]);
+}
+
 // ---- nonzero counting (for dot_skip_zero's accounting) --------------------
 
 KP_TGT_AVX512 inline std::size_t count_nonzero_512(const u64* a,
@@ -1091,6 +1129,52 @@ KP_TGT_AVX512 inline void vec_mul_512(const fastmod::Barrett& bar,
   for (; i < n; ++i) dst[i] = bar.mul(a[i], b[i]);
 }
 
+/// dst[i] = (dst[i] - coef * a[i]) mod p: the sigma-basis row update's
+/// fused axpy.  The product takes the same Barrett chain as vec_mul_512
+/// (canonical residue), then a canonical subtract -- identical values to
+/// the scalar mul/sub pair.
+KP_TGT_AVX512 inline void vec_submul_512(const fastmod::Barrett& bar, u64 coef,
+                                         const u64* a, u64* dst,
+                                         std::size_t n) {
+  const __m128i sh = _mm_cvtsi32_si128(static_cast<int>(bar.shift));
+  const __m128i shc = _mm_cvtsi32_si128(static_cast<int>(64 - bar.shift));
+  const __m512i vv = _mm512_set1_epi64(static_cast<long long>(bar.v));
+  const __m512i vd = _mm512_set1_epi64(static_cast<long long>(bar.d));
+  const __m512i vp = _mm512_set1_epi64(static_cast<long long>(bar.p));
+  const __m512i one = _mm512_set1_epi64(1);
+  const __m512i y = _mm512_set1_epi64(static_cast<long long>(coef));
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512i x = _mm512_loadu_si512(a + i);
+    const __m512i t_hi = mulhi64_512(x, y);
+    const __m512i t_lo = _mm512_mullo_epi64(x, y);
+    const __m512i nh = _mm512_or_si512(_mm512_sll_epi64(t_hi, sh),
+                                       _mm512_srl_epi64(t_lo, shc));
+    const __m512i nl = _mm512_sll_epi64(t_lo, sh);
+    const __m512i qh = mulhi64_512(vv, nh);
+    const __m512i ql = _mm512_mullo_epi64(vv, nh);
+    const __m512i sum_lo = _mm512_add_epi64(ql, nl);
+    const __mmask8 cy = _mm512_cmplt_epu64_mask(sum_lo, ql);
+    __m512i qh2 = _mm512_add_epi64(qh, _mm512_add_epi64(nh, one));
+    qh2 = _mm512_mask_add_epi64(qh2, cy, qh2, one);
+    __m512i r = _mm512_sub_epi64(nl, _mm512_mullo_epi64(qh2, vd));
+    const __mmask8 fix = _mm512_cmpgt_epu64_mask(r, sum_lo);
+    r = _mm512_mask_add_epi64(r, fix, r, vd);
+    const __mmask8 ge = _mm512_cmpge_epu64_mask(r, vd);
+    r = _mm512_mask_sub_epi64(r, ge, r, vd);
+    const __m512i prod = _mm512_srl_epi64(r, sh);
+    const __m512i d = _mm512_loadu_si512(dst + i);
+    const __mmask8 lt = _mm512_cmplt_epu64_mask(d, prod);
+    __m512i s = _mm512_sub_epi64(d, prod);
+    s = _mm512_mask_add_epi64(s, lt, s, vp);
+    _mm512_storeu_si512(dst + i, s);
+  }
+  for (; i < n; ++i) {
+    const u64 t = bar.mul(coef, a[i]);
+    dst[i] = dst[i] >= t ? dst[i] - t : dst[i] + bar.p - t;
+  }
+}
+
 /// AVX2 add: 4 lanes; unsigned s >= p via the sign-bias signed compare
 /// (s can exceed 2^63, so both sides are biased by 2^63).
 KP_TGT_AVX2 inline void vec_add_256(u64 p, const u64* a, const u64* b,
@@ -1283,6 +1367,42 @@ inline bool sum(const fastmod::Barrett& bar, const u64* a, std::size_t n,
   (void)bar;
   (void)a;
   (void)n;
+  (void)out;
+  return false;
+#endif
+}
+
+/// Whether the batched CSR row kernel (spmm_row) can run for this modulus
+/// at the current dispatch level.  Callers check once per batched apply and
+/// fall back to per-vector dot_gather otherwise.
+inline bool spmm_ready(const fastmod::Barrett& bar) {
+#if defined(KP_SIMD_X86)
+  return bar.p <= detail::kSmallPMax && simd_level() == SimdLevel::kAvx512;
+#else
+  (void)bar;
+  return false;
+#endif
+}
+
+/// Batched CSR row product out[k] = sum_j val[j] * xt[col[j] * b + k] for a
+/// chunk of up to 8 block columns of a row-major n x b block.  Returns
+/// false when no vector path applies (level, modulus, chunk width).
+inline bool spmm_row(const fastmod::Barrett& bar, const u64* val,
+                     const std::size_t* col, const u64* xt, std::size_t b,
+                     std::size_t chunk, std::size_t nnz, u64* out) {
+#if defined(KP_SIMD_X86)
+  if (chunk == 0 || chunk > 8 || !spmm_ready(bar)) return false;
+  detail::spmm_row_smallp_512(bar, val, col, xt, b, chunk, nnz, out);
+  detail::bump(detail::stat_counters().spmm, nnz);
+  return true;
+#else
+  (void)bar;
+  (void)val;
+  (void)col;
+  (void)xt;
+  (void)b;
+  (void)chunk;
+  (void)nnz;
   (void)out;
   return false;
 #endif
@@ -1525,6 +1645,24 @@ inline bool vec_mod_mul(const fastmod::Barrett& bar, const u64* a,
   (void)bar;
   (void)a;
   (void)b;
+  (void)dst;
+  (void)n;
+  return false;
+#endif
+}
+
+/// Fused axpy dst[i] = (dst[i] - coef * a[i]) mod p.
+inline bool vec_mod_submul(const fastmod::Barrett& bar, u64 coef, const u64* a,
+                           u64* dst, std::size_t n) {
+#if defined(KP_SIMD_X86)
+  if (n < kMinSimdN || simd_level() != SimdLevel::kAvx512) return false;
+  detail::vec_submul_512(bar, coef, a, dst, n);
+  detail::bump(detail::stat_counters().vec, n / 8);
+  return true;
+#else
+  (void)bar;
+  (void)coef;
+  (void)a;
   (void)dst;
   (void)n;
   return false;

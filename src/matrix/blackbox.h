@@ -41,6 +41,83 @@ concept TransposableLinOp =
       { b.apply_transpose(x) } -> std::convertible_to<std::vector<typename B::Element>>;
     };
 
+/// A LinOp that can apply itself to a whole block of vectors in one call
+/// (one pass over its data / one batched transform instead of b).
+template <class B>
+concept BatchLinOp =
+    LinOp<B> &&
+    requires(const B b,
+             const std::vector<const std::vector<typename B::Element>*>& xs) {
+      { b.apply_many(xs) } ->
+          std::convertible_to<std::vector<std::vector<typename B::Element>>>;
+    };
+
+/// A TransposableLinOp with a batched transpose-side apply.
+template <class B>
+concept BatchTransposableLinOp =
+    TransposableLinOp<B> &&
+    requires(const B b,
+             const std::vector<const std::vector<typename B::Element>*>& xs) {
+      { b.apply_transpose_many(xs) } ->
+          std::convertible_to<std::vector<std::vector<typename B::Element>>>;
+    };
+
+/// Pointer view of a block of columns (the apply_many calling convention).
+/// Valid only while `cols` is alive.
+template <class E>
+std::vector<const std::vector<E>*> to_ptrs(
+    const std::vector<std::vector<E>>& cols) {
+  std::vector<const std::vector<E>*> ptrs(cols.size());
+  for (std::size_t i = 0; i < cols.size(); ++i) ptrs[i] = &cols[i];
+  return ptrs;
+}
+
+/// B applied to every column of a block: batched through the box's
+/// apply_many when it has one, element-identical per-column applies
+/// otherwise.  This is the single entry point block algorithms use, so a
+/// box only opts into batching where it actually pays (shared spectra,
+/// one CSR pass, pooled mat_vec) and everything else still works.
+template <LinOp B>
+std::vector<std::vector<typename B::Element>> apply_columns(
+    const B& box,
+    const std::vector<const std::vector<typename B::Element>*>& cols) {
+  if constexpr (BatchLinOp<B>) {
+    return box.apply_many(cols);
+  } else {
+    std::vector<std::vector<typename B::Element>> out(cols.size());
+    for (std::size_t i = 0; i < cols.size(); ++i) out[i] = box.apply(*cols[i]);
+    return out;
+  }
+}
+
+template <LinOp B>
+std::vector<std::vector<typename B::Element>> apply_columns(
+    const B& box, const std::vector<std::vector<typename B::Element>>& cols) {
+  return apply_columns(box, to_ptrs(cols));
+}
+
+/// Transpose-side twin of apply_columns.
+template <TransposableLinOp B>
+std::vector<std::vector<typename B::Element>> apply_transpose_columns(
+    const B& box,
+    const std::vector<const std::vector<typename B::Element>*>& cols) {
+  if constexpr (BatchTransposableLinOp<B>) {
+    return box.apply_transpose_many(cols);
+  } else {
+    std::vector<std::vector<typename B::Element>> out(cols.size());
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+      out[i] = box.apply_transpose(*cols[i]);
+    }
+    return out;
+  }
+}
+
+template <TransposableLinOp B>
+std::vector<std::vector<typename B::Element>> apply_transpose_columns(
+    const B& box, const std::vector<std::vector<typename B::Element>>& cols) {
+  return apply_transpose_columns(box, to_ptrs(cols));
+}
+
 /// Coarse structure classes; the solver's route selection keys off them:
 /// a dense operator amortizes into the O(n^omega log n) doubling route (9),
 /// while sparse/structured operators are cheaper through 2n black-box
@@ -129,6 +206,14 @@ class SparseBox {
   std::vector<Element> apply_transpose(const std::vector<Element>& x) const {
     return a_.apply_transpose(*r_, x);
   }
+  std::vector<std::vector<Element>> apply_many(
+      const std::vector<const std::vector<Element>*>& xs) const {
+    return a_.apply_many(*r_, xs);
+  }
+  std::vector<std::vector<Element>> apply_transpose_many(
+      const std::vector<const std::vector<Element>*>& xs) const {
+    return a_.apply_transpose_many(*r_, xs);
+  }
   const Sparse<R>& matrix() const { return a_; }
 
  private:
@@ -151,6 +236,14 @@ class ToeplitzBox {
   std::vector<Element> apply_transpose(const std::vector<Element>& x) const {
     return t_.apply_transpose(*ring_, x);
   }
+  std::vector<std::vector<Element>> apply_many(
+      const std::vector<const std::vector<Element>*>& xs) const {
+    return t_.apply_many(*ring_, xs);
+  }
+  std::vector<std::vector<Element>> apply_transpose_many(
+      const std::vector<const std::vector<Element>*>& xs) const {
+    return t_.apply_transpose_many(*ring_, xs);
+  }
 
  private:
   const kp::poly::PolyRing<F>* ring_;
@@ -171,6 +264,14 @@ class HankelBox {
   }
   std::vector<Element> apply_transpose(const std::vector<Element>& x) const {
     return h_.apply(*ring_, x);
+  }
+  std::vector<std::vector<Element>> apply_many(
+      const std::vector<const std::vector<Element>*>& xs) const {
+    return h_.apply_many(*ring_, xs);
+  }
+  std::vector<std::vector<Element>> apply_transpose_many(
+      const std::vector<const std::vector<Element>*>& xs) const {
+    return h_.apply_many(*ring_, xs);
   }
   const Hankel<F>& matrix() const { return h_; }
 
@@ -220,6 +321,16 @@ class ProductBox {
   {
     return b_.apply_transpose(a_.apply_transpose(x));
   }
+  std::vector<std::vector<Element>> apply_many(
+      const std::vector<const std::vector<Element>*>& xs) const {
+    return apply_columns(a_, apply_columns(b_, xs));
+  }
+  std::vector<std::vector<Element>> apply_transpose_many(
+      const std::vector<const std::vector<Element>*>& xs) const
+    requires TransposableLinOp<A> && TransposableLinOp<B>
+  {
+    return apply_transpose_columns(b_, apply_transpose_columns(a_, xs));
+  }
   /// Cost of a product is dominated by the denser factor.
   BoxStructure structure() const {
     const auto sa = box_structure(a_), sb = box_structure(b_);
@@ -246,6 +357,14 @@ class TransposeBox {
   }
   std::vector<Element> apply_transpose(const std::vector<Element>& x) const {
     return b_.apply(x);
+  }
+  std::vector<std::vector<Element>> apply_many(
+      const std::vector<const std::vector<Element>*>& xs) const {
+    return apply_transpose_columns(b_, xs);
+  }
+  std::vector<std::vector<Element>> apply_transpose_many(
+      const std::vector<const std::vector<Element>*>& xs) const {
+    return apply_columns(b_, xs);
   }
   BoxStructure structure() const { return box_structure(b_); }
 
@@ -279,6 +398,25 @@ class PreconditionedBox {
     requires TransposableLinOp<B>
   {
     return d_.apply(*f_, h_.apply(*ring_, inner_->apply_transpose(x)));
+  }
+  /// Batched (A H D) x_k: one diagonal pass per column, one batched Hankel
+  /// product sharing the cached symbol spectrum, then the inner operator's
+  /// own batch path (apply_columns falls back per-column when absent).
+  std::vector<std::vector<Element>> apply_many(
+      const std::vector<const std::vector<Element>*>& xs) const {
+    std::vector<std::vector<Element>> scaled(xs.size());
+    for (std::size_t k = 0; k < xs.size(); ++k) {
+      scaled[k] = d_.apply(*f_, *xs[k]);
+    }
+    return apply_columns(*inner_, h_.apply_many(*ring_, to_ptrs(scaled)));
+  }
+  std::vector<std::vector<Element>> apply_transpose_many(
+      const std::vector<const std::vector<Element>*>& xs) const
+    requires TransposableLinOp<B>
+  {
+    auto hs = h_.apply_many(*ring_, to_ptrs(apply_transpose_columns(*inner_, xs)));
+    for (auto& v : hs) v = d_.apply(*f_, v);
+    return hs;
   }
   /// Route selection follows the inner operator: the Hankel/diagonal layers
   /// only add O(M(n)) per product.
@@ -317,6 +455,17 @@ class AnyBox {
   std::vector<Element> apply_transpose(const std::vector<Element>& x) const {
     return impl_->apply_transpose(x);
   }
+  /// Batched applies: forwarded to the underlying box's apply_many when it
+  /// has one, per-column applies otherwise -- so block algorithms can run
+  /// through the type-erased interface without losing the batch paths.
+  std::vector<std::vector<Element>> apply_many(
+      const std::vector<const std::vector<Element>*>& xs) const {
+    return impl_->apply_many(xs);
+  }
+  std::vector<std::vector<Element>> apply_transpose_many(
+      const std::vector<const std::vector<Element>*>& xs) const {
+    return impl_->apply_transpose_many(xs);
+  }
   bool transposable() const { return impl_->transposable(); }
   BoxStructure structure() const { return impl_->structure(); }
 
@@ -327,6 +476,10 @@ class AnyBox {
     virtual std::vector<Element> apply(const std::vector<Element>& x) const = 0;
     virtual std::vector<Element> apply_transpose(
         const std::vector<Element>& x) const = 0;
+    virtual std::vector<std::vector<Element>> apply_many(
+        const std::vector<const std::vector<Element>*>& xs) const = 0;
+    virtual std::vector<std::vector<Element>> apply_transpose_many(
+        const std::vector<const std::vector<Element>*>& xs) const = 0;
     virtual bool transposable() const = 0;
     virtual BoxStructure structure() const = 0;
   };
@@ -342,6 +495,19 @@ class AnyBox {
         const std::vector<Element>& x) const override {
       if constexpr (TransposableLinOp<B>) {
         return box_.apply_transpose(x);
+      } else {
+        assert(false && "underlying box has no apply_transpose");
+        return {};
+      }
+    }
+    std::vector<std::vector<Element>> apply_many(
+        const std::vector<const std::vector<Element>*>& xs) const override {
+      return apply_columns(box_, xs);
+    }
+    std::vector<std::vector<Element>> apply_transpose_many(
+        const std::vector<const std::vector<Element>*>& xs) const override {
+      if constexpr (TransposableLinOp<B>) {
+        return apply_transpose_columns(box_, xs);
       } else {
         assert(false && "underlying box has no apply_transpose");
         return {};

@@ -91,6 +91,93 @@ class Sparse {
     return y;
   }
 
+  /// Batched y_k = A x_k.  Word-sized prime fields transpose the block to a
+  /// row-major n x b layout and run the fused SpMM kernel: each CSR entry is
+  /// one broadcast multiplied against b contiguous lanes, replacing b
+  /// hardware gathers per entry with masked contiguous loads (the batched
+  /// route's main single-core win).  Each lane is the same linear reduction
+  /// chain as apply(), charged in bulk as b * len multiplications and
+  /// additions per row -- so results and op counts are identical to b
+  /// separate apply() calls, at every SIMD level and for 1..N workers
+  /// (parallel chunking is by row, independent of the worker count).
+  /// Other rings fall back to a (row, vector) cell grid.
+  std::vector<std::vector<Element>> apply_many(
+      const R& r, const std::vector<const std::vector<Element>*>& xs) const {
+    const std::size_t b = xs.size();
+    std::vector<std::vector<Element>> ys(b);
+    for (auto& y : ys) y.assign(rows_, r.zero());
+    if constexpr (kp::field::kernels::FastField<R>) {
+      if (b > 1) {
+        kp::util::AlignedVector<Element> xt(cols_ * b);
+        for (std::size_t k = 0; k < b; ++k) {
+          const std::vector<Element>& x = *xs[k];
+          assert(x.size() == cols_);
+          for (std::size_t j = 0; j < cols_; ++j) xt[j * b + k] = x[j];
+        }
+        auto row_block = [&](std::size_t i) {
+          const std::size_t lo = row_ptr_[i];
+          const std::size_t len = row_ptr_[i + 1] - lo;
+          kp::util::count_muls(b * len);
+          kp::util::count_adds(b * len);
+          Element lanes[8];
+          for (std::size_t k0 = 0; k0 < b; k0 += 8) {
+            const std::size_t chunk = b - k0 < 8 ? b - k0 : 8;
+            kp::field::kernels::spmm_row(r, val_.data() + lo, col_.data() + lo,
+                                         len, xt.data() + k0, b, chunk, lanes);
+            for (std::size_t k = 0; k < chunk; ++k) ys[k0 + k][i] = lanes[k];
+          }
+        };
+        if (kp::field::concurrent_ops_v<R> && nnz() * b >= kParallelGrain) {
+          kp::pram::parallel_for(0, rows_, row_block);
+        } else {
+          for (std::size_t i = 0; i < rows_; ++i) row_block(i);
+        }
+        return ys;
+      }
+    }
+    auto cell_product = [&](std::size_t idx) {
+      const std::size_t i = idx / b;
+      const std::size_t k = idx % b;
+      const std::vector<Element>& x = *xs[k];
+      assert(x.size() == cols_);
+      if constexpr (kp::field::kernels::FastField<R>) {
+        const std::size_t lo = row_ptr_[i];
+        ys[k][i] = kp::field::kernels::dot_gather(r, val_.data() + lo,
+                                                  col_.data() + lo, x.data(),
+                                                  row_ptr_[i + 1] - lo);
+      } else {
+        auto acc = r.zero();
+        for (std::size_t c = row_ptr_[i]; c < row_ptr_[i + 1]; ++c) {
+          acc = r.add(acc, r.mul(val_[c], x[col_[c]]));
+        }
+        ys[k][i] = std::move(acc);
+      }
+    };
+    if (kp::field::concurrent_ops_v<R> && nnz() * b >= kParallelGrain) {
+      kp::pram::parallel_for(0, b * rows_, cell_product);
+    } else {
+      for (std::size_t idx = 0; idx < b * rows_; ++idx) cell_product(idx);
+    }
+    return ys;
+  }
+
+  /// Batched y_k = A^T x_k.  The transpose product scatters along rows, so a
+  /// single vector stays serial (deterministic accumulation order); a block
+  /// parallelizes across the independent vectors instead.  Values and op
+  /// counts match b separate apply_transpose() calls exactly.
+  std::vector<std::vector<Element>> apply_transpose_many(
+      const R& r, const std::vector<const std::vector<Element>*>& xs) const {
+    std::vector<std::vector<Element>> ys(xs.size());
+    auto one_vector = [&](std::size_t k) { ys[k] = apply_transpose(r, *xs[k]); };
+    if (kp::field::concurrent_ops_v<R> && xs.size() > 1 &&
+        nnz() * xs.size() >= kParallelGrain) {
+      kp::pram::parallel_for(0, xs.size(), one_vector);
+    } else {
+      for (std::size_t k = 0; k < xs.size(); ++k) one_vector(k);
+    }
+    return ys;
+  }
+
   /// y = A^T x in O(nnz) ring operations.
   std::vector<Element> apply_transpose(const R& r,
                                        const std::vector<Element>& x) const {

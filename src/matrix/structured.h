@@ -137,6 +137,26 @@ class Toeplitz {
     return out;
   }
 
+  /// Batched T^T * x_i: the transpose-side twin of apply_many, sharing the
+  /// separately cached reversed-symbol spectrum.  Left-projection blocks in
+  /// the block-Wiedemann route batch through here so the transpose spectrum
+  /// is transformed once per matrix, not once per vector.
+  std::vector<std::vector<Element>> apply_transpose_many(
+      const kp::poly::PolyRing<R>& ring,
+      const std::vector<const std::vector<Element>*>& xs) const {
+    std::vector<typename kp::poly::PolyRing<R>::Element> stripped(xs.size());
+    std::vector<const typename kp::poly::PolyRing<R>::Element*> ptrs(xs.size());
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      assert(xs[i]->size() == n_);
+      stripped[i] = strip_copy(ring, *xs[i]);
+      ptrs[i] = &stripped[i];
+    }
+    auto prods = symbol_transpose(ring).mul_many(ring, ptrs);
+    std::vector<std::vector<Element>> out(xs.size());
+    for (std::size_t i = 0; i < xs.size(); ++i) out[i] = window(ring, prods[i]);
+    return out;
+  }
+
   /// The cached transform of the (stripped) symbol polynomial; built on
   /// first use, shared by every subsequent apply.
   const kp::poly::TransformedPoly<R>& symbol(

@@ -59,9 +59,11 @@ enum class Stage : std::uint8_t {
   kVerify,           ///< Las Vegas verification A x = b
   kLift,             ///< section-5 field extension lift
   kCircuitEval,      ///< evaluating a recorded circuit / compiled tape
+  kBlockProjection,  ///< block Krylov sequence U A^i V (width-b projections)
+  kBlockGenerator,   ///< sigma-basis / matrix-BM generator recovery
 };
 
-inline constexpr int kStageCount = 11;
+inline constexpr int kStageCount = 13;
 
 inline const char* to_string(FailureKind k) {
   switch (k) {
@@ -93,6 +95,8 @@ inline const char* to_string(Stage s) {
     case Stage::kVerify: return "verify";
     case Stage::kLift: return "lift";
     case Stage::kCircuitEval: return "circuit-eval";
+    case Stage::kBlockProjection: return "block-projection";
+    case Stage::kBlockGenerator: return "block-generator";
   }
   return "unknown";
 }

@@ -1,0 +1,593 @@
+// Tests for the block-Wiedemann route: block Krylov projections
+// (core/block_krylov.h), the sigma-basis matrix Berlekamp-Massey
+// (seq/matrix_berlekamp_massey.h), the solve / det recovery in
+// core/wiedemann.h, and the kp_solve block_width integration.  The
+// contracts under test: width-1 degenerates to the scalar pipeline
+// element-for-element; block answers match the scalar answers exactly;
+// every result is bit-identical (including op counts) for any worker count
+// and SIMD level; degenerate blocks surface through the failure taxonomy
+// and re-draw only the projection stream.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/block_krylov.h"
+#include "core/solver.h"
+#include "core/wiedemann.h"
+#include "field/simd.h"
+#include "field/zp.h"
+#include "matrix/blackbox.h"
+#include "matrix/dense.h"
+#include "matrix/gauss.h"
+#include "matrix/sparse.h"
+#include "matrix/structured.h"
+#include "poly/interp.h"
+#include "pram/parallel_for.h"
+#include "seq/berlekamp_massey.h"
+#include "seq/matrix_berlekamp_massey.h"
+#include "util/fault.h"
+#include "util/op_count.h"
+#include "util/prng.h"
+#include "util/status.h"
+
+namespace kp {
+namespace {
+
+using util::FailureKind;
+using util::Stage;
+
+using F = field::Zp<1000003>;
+F f;
+
+#define KP_REQUIRE_FAULT_INJECTION()                             \
+  do {                                                           \
+    if (!KP_FAULT_INJECTION_ENABLED) {                           \
+      GTEST_SKIP() << "fault injection compiled out";            \
+    }                                                            \
+  } while (0)
+
+matrix::Matrix<F> nonsingular_matrix(std::size_t n, util::Prng& prng) {
+  for (;;) {
+    auto a = matrix::random_matrix(f, n, n, prng);
+    if (!f.is_zero(matrix::det_gauss(f, a))) return a;
+  }
+}
+
+matrix::Sparse<F> nonsingular_sparse(std::size_t n, std::size_t per_row,
+                                     util::Prng& prng) {
+  for (;;) {
+    auto sp = matrix::Sparse<F>::random(f, n, per_row, prng);
+    if (!f.is_zero(matrix::det_gauss(f, sp.to_dense(f)))) return sp;
+  }
+}
+
+/// Reference characteristic polynomial det(xI - A), monic, by evaluation at
+/// n + 1 points and interpolation (the field is far larger than n).
+std::vector<F::Element> charpoly_reference(const matrix::Matrix<F>& a) {
+  const std::size_t n = a.rows();
+  std::vector<F::Element> pts(n + 1), vals(n + 1);
+  for (std::size_t i = 0; i <= n; ++i) {
+    pts[i] = f.from_int(static_cast<std::int64_t>(i));
+    auto m = a;
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < n; ++c) m.at(r, c) = f.neg(m.at(r, c));
+      m.at(r, r) = f.add(m.at(r, r), pts[i]);
+    }
+    vals[i] = matrix::det_gauss(f, m);
+  }
+  poly::PolyRing<F> ring(f);
+  return poly::interpolate(ring, pts, vals);
+}
+
+void expect_counts_eq(const util::OpCounts& a, const util::OpCounts& b,
+                      const char* what) {
+  EXPECT_EQ(a.add, b.add) << what;
+  EXPECT_EQ(a.mul, b.mul) << what;
+  EXPECT_EQ(a.div, b.div) << what;
+  EXPECT_EQ(a.zero_test, b.zero_test) << what;
+}
+
+// ---------------------------------------------------------------------------
+// Sigma-basis matrix Berlekamp-Massey.
+
+TEST(SigmaBasisTest, WidthOneMatchesScalarBerlekampMassey) {
+  util::Prng prng(211);
+  // Random projected Krylov sequences (the exact input the route feeds it)
+  // plus a hand-rolled short LFSR.
+  for (std::size_t n : {3u, 5u, 8u, 11u}) {
+    const auto a = nonsingular_matrix(n, prng);
+    std::vector<F::Element> u(n), v(n);
+    for (auto& e : u) e = f.random(prng);
+    for (auto& e : v) e = f.random(prng);
+    std::vector<F::Element> scalar_seq;
+    auto w = v;
+    for (std::size_t i = 0; i < 2 * n; ++i) {
+      if (i) w = matrix::mat_vec(f, a, w);
+      auto acc = f.zero();
+      for (std::size_t j = 0; j < n; ++j) acc = f.add(acc, f.mul(u[j], w[j]));
+      scalar_seq.push_back(acc);
+    }
+
+    std::vector<matrix::Matrix<F>> block_seq;
+    for (const auto& e : scalar_seq) {
+      matrix::Matrix<F> s(1, 1, e);
+      block_seq.push_back(std::move(s));
+    }
+    auto gen = seq::matrix_berlekamp_massey(f, block_seq);
+    ASSERT_TRUE(gen.ok()) << n;
+    const auto g = seq::scalar_generator(f, gen.value());
+    const auto ref = seq::berlekamp_massey(f, scalar_seq);
+    ASSERT_EQ(g.size(), ref.size()) << n;
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      EXPECT_TRUE(f.eq(g[i], ref[i])) << n << " coeff " << i;
+    }
+  }
+}
+
+TEST(SigmaBasisTest, GeneratorDeterminantRecoversCharpoly) {
+  util::Prng prng(212);
+  const std::size_t n = 12;
+  const auto a = nonsingular_matrix(n, prng);
+  const auto ref = charpoly_reference(a);
+  const matrix::DenseBox<F> box(f, a);
+  for (std::size_t b : {2u, 3u, 4u}) {
+    const auto ut = core::random_block_rows(f, b, n, prng, 1u << 20);
+    const auto v = core::random_block_columns(f, b, n, prng, 1u << 20);
+    const std::size_t count = 2 * ((n + b - 1) / b) + 2;
+    const auto sq = core::block_krylov_sequence(f, box, ut, v, count);
+    auto gen = seq::matrix_berlekamp_massey(f, sq);
+    ASSERT_TRUE(gen.ok()) << b;
+    auto det = core::detail::generator_determinant(f, gen.value());
+    ASSERT_TRUE(det.ok()) << b;
+    auto g = det.take();
+    ASSERT_EQ(g.size(), n + 1) << b;
+    const auto ilc = f.inv(g.back());
+    for (auto& e : g) e = f.mul(e, ilc);
+    for (std::size_t i = 0; i <= n; ++i) {
+      EXPECT_TRUE(f.eq(g[i], ref[i])) << "b=" << b << " coeff " << i;
+    }
+  }
+}
+
+TEST(SigmaBasisTest, EveryReturnedColumnGenerates) {
+  util::Prng prng(213);
+  const std::size_t n = 10, b = 3;
+  const auto a = nonsingular_matrix(n, prng);
+  const matrix::DenseBox<F> box(f, a);
+  const auto ut = core::random_block_rows(f, b, n, prng, 1u << 20);
+  const auto v = core::random_block_columns(f, b, n, prng, 1u << 20);
+  const auto sq =
+      core::block_krylov_sequence(f, box, ut, v, 2 * ((n + b - 1) / b) + 2);
+  auto gen = seq::matrix_berlekamp_massey(f, sq);
+  ASSERT_TRUE(gen.ok());
+  ASSERT_GE(gen.value().columns.size(), b);
+  for (const auto& col : gen.value().columns) {
+    EXPECT_TRUE(seq::block_generates(f, sq, col));
+  }
+}
+
+TEST(SigmaBasisTest, EarlyTerminationOnLowMinpolyDegree) {
+  // A = 7 I has minpoly degree 1: every generator column must terminate at
+  // degree <= 1 long before the worst-case ceil(n/b) bound.
+  util::Prng prng(214);
+  const std::size_t n = 6, b = 2;
+  matrix::Matrix<F> a(n, n, f.zero());
+  for (std::size_t i = 0; i < n; ++i) a.at(i, i) = f.from_int(7);
+  const matrix::DenseBox<F> box(f, a);
+  const auto ut = core::random_block_rows(f, b, n, prng, 1u << 20);
+  const auto v = core::random_block_columns(f, b, n, prng, 1u << 20);
+  const auto sq =
+      core::block_krylov_sequence(f, box, ut, v, 2 * ((n + b - 1) / b) + 2);
+  auto gen = seq::matrix_berlekamp_massey(f, sq);
+  ASSERT_TRUE(gen.ok());
+  ASSERT_FALSE(gen.value().columns.empty());
+  EXPECT_LE(gen.value().max_degree(), 1u);
+  for (const auto& col : gen.value().columns) {
+    EXPECT_TRUE(seq::block_generates(f, sq, col));
+  }
+}
+
+TEST(SigmaBasisTest, RejectsMalformedSequences) {
+  auto empty = seq::matrix_berlekamp_massey(f, {});
+  ASSERT_FALSE(empty.ok());
+  EXPECT_EQ(empty.status().kind(), FailureKind::kInvalidArgument);
+  EXPECT_EQ(empty.status().stage(), Stage::kBlockGenerator);
+
+  std::vector<matrix::Matrix<F>> mixed;
+  mixed.emplace_back(2, 2, f.zero());
+  mixed.emplace_back(3, 3, f.zero());
+  auto bad = seq::matrix_berlekamp_massey(f, mixed);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().kind(), FailureKind::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Block Krylov projections.
+
+TEST(BlockKrylovTest, SequenceMatchesNaiveProjection) {
+  util::Prng prng(221);
+  const std::size_t n = 9, b = 3, count = 8;
+  const auto a = nonsingular_matrix(n, prng);
+  const matrix::DenseBox<F> box(f, a);
+  const auto ut = core::random_block_rows(f, b, n, prng, 1u << 20);
+  const auto v = core::random_block_columns(f, b, n, prng, 1u << 20);
+  const auto sq = core::block_krylov_sequence(f, box, ut, v, count);
+  ASSERT_EQ(sq.size(), count);
+  for (std::size_t c = 0; c < b; ++c) {
+    auto w = v[c];
+    for (std::size_t i = 0; i < count; ++i) {
+      if (i) w = matrix::mat_vec(f, a, w);
+      for (std::size_t r = 0; r < b; ++r) {
+        auto acc = f.zero();
+        for (std::size_t j = 0; j < n; ++j) {
+          acc = f.add(acc, f.mul(ut.at(r, j), w[j]));
+        }
+        EXPECT_TRUE(f.eq(sq[i].at(r, c), acc)) << i << "," << r << "," << c;
+      }
+    }
+  }
+}
+
+TEST(BlockKrylovTest, TransposedSequenceMatchesForward) {
+  util::Prng prng(222);
+  const std::size_t n = 16, b = 4, count = 10;
+  const auto sp = nonsingular_sparse(n, 3, prng);
+  const matrix::SparseBox<F> sbox(f, sp);
+
+  std::vector<F::Element> diag(2 * n - 1);
+  for (auto& e : diag) e = f.random(prng);
+  poly::PolyRing<F> ring(f);
+  const matrix::ToeplitzBox<F> tbox(ring, matrix::Toeplitz<F>(n, diag));
+
+  const auto ut = core::random_block_rows(f, b, n, prng, 1u << 20);
+  const auto v = core::random_block_columns(f, b, n, prng, 1u << 20);
+  auto check = [&](const auto& box, const char* what) {
+    const auto fwd = core::block_krylov_sequence(f, box, ut, v, count);
+    const auto rev = core::block_krylov_sequence_transposed(f, box, ut, v, count);
+    ASSERT_EQ(fwd.size(), rev.size()) << what;
+    for (std::size_t i = 0; i < count; ++i) {
+      for (std::size_t r = 0; r < b; ++r) {
+        for (std::size_t c = 0; c < b; ++c) {
+          EXPECT_TRUE(f.eq(fwd[i].at(r, c), rev[i].at(r, c)))
+              << what << " " << i << "," << r << "," << c;
+        }
+      }
+    }
+  };
+  check(sbox, "sparse");
+  check(tbox, "toeplitz");
+}
+
+TEST(BlockKrylovTest, SparseApplyManyMatchesLoopedApplies) {
+  util::Prng prng(223);
+  // Small (serial) and large (parallel grid: nnz * b >= kParallelGrain)
+  // shapes; elements AND op counts must match the looped applies exactly.
+  struct Shape { std::size_t n, per_row, b; };
+  for (const Shape sh : {Shape{24, 3, 4}, Shape{1024, 8, 8}}) {
+    const auto sp = matrix::Sparse<F>::random(f, sh.n, sh.per_row, prng);
+    std::vector<std::vector<F::Element>> xs(sh.b);
+    std::vector<const std::vector<F::Element>*> ptrs(sh.b);
+    for (std::size_t k = 0; k < sh.b; ++k) {
+      xs[k].resize(sh.n);
+      for (auto& e : xs[k]) e = f.random(prng);
+      ptrs[k] = &xs[k];
+    }
+    util::OpScope batch_scope;
+    const auto batched = sp.apply_many(f, ptrs);
+    const auto batch_ops = batch_scope.counts();
+    util::OpScope loop_scope;
+    std::vector<std::vector<F::Element>> looped;
+    for (std::size_t k = 0; k < sh.b; ++k) looped.push_back(sp.apply(f, xs[k]));
+    expect_counts_eq(batch_ops, loop_scope.counts(), "sparse apply_many ops");
+    EXPECT_EQ(batched, looped) << "n=" << sh.n;
+
+    util::OpScope tbatch_scope;
+    const auto tbatched = sp.apply_transpose_many(f, ptrs);
+    const auto tbatch_ops = tbatch_scope.counts();
+    util::OpScope tloop_scope;
+    std::vector<std::vector<F::Element>> tlooped;
+    for (std::size_t k = 0; k < sh.b; ++k) {
+      tlooped.push_back(sp.apply_transpose(f, xs[k]));
+    }
+    expect_counts_eq(tbatch_ops, tloop_scope.counts(),
+                     "sparse apply_transpose_many ops");
+    EXPECT_EQ(tbatched, tlooped) << "n=" << sh.n;
+  }
+}
+
+TEST(BlockKrylovTest, ToeplitzApplyTransposeManyMatchesLoop) {
+  util::Prng prng(224);
+  const std::size_t n = 16, b = 3;
+  std::vector<F::Element> diag(2 * n - 1);
+  for (auto& e : diag) e = f.random(prng);
+  const matrix::Toeplitz<F> t(n, diag);
+  poly::PolyRing<F> ring(f);
+  std::vector<std::vector<F::Element>> xs(b);
+  std::vector<const std::vector<F::Element>*> ptrs(b);
+  for (std::size_t k = 0; k < b; ++k) {
+    xs[k].resize(n);
+    for (auto& e : xs[k]) e = f.random(prng);
+    ptrs[k] = &xs[k];
+  }
+  const auto batched = t.apply_transpose_many(ring, ptrs);
+  const auto dense = t.to_dense(f);
+  ASSERT_EQ(batched.size(), b);
+  for (std::size_t k = 0; k < b; ++k) {
+    EXPECT_EQ(batched[k], t.apply_transpose(ring, xs[k])) << k;
+    // Cross-check against the dense transpose.
+    std::vector<F::Element> ref(n, f.zero());
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        ref[i] = f.add(ref[i], f.mul(dense.at(j, i), xs[k][j]));
+      }
+    }
+    EXPECT_EQ(batched[k], ref) << k;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Block-Wiedemann solve / det.
+
+TEST(BlockWiedemannTest, SolveMatchesScalarRoute) {
+  util::Prng setup(231);
+  const std::size_t n = 48;
+  const auto sp = nonsingular_sparse(n, 4, setup);
+  const matrix::SparseBox<F> box(f, sp);
+  std::vector<F::Element> x_true(n);
+  for (auto& e : x_true) e = f.random(setup);
+  const auto b = sp.apply(f, x_true);
+
+  util::Prng p0(555);
+  auto scalar = core::wiedemann_solve_status(f, box, b, p0, 1u << 20);
+  ASSERT_TRUE(scalar.ok);
+  ASSERT_EQ(scalar.x, x_true);  // unique: A non-singular
+
+  for (std::size_t bw : {2u, 4u, 8u}) {
+    util::Prng p(555);
+    auto res = core::block_wiedemann_solve_status(f, box, b, p, 1u << 20, bw);
+    ASSERT_TRUE(res.ok) << "bw=" << bw << ": " << res.status.message();
+    EXPECT_EQ(res.x, scalar.x) << "bw=" << bw;
+    EXPECT_EQ(sp.apply(f, res.x), b) << "bw=" << bw;
+  }
+}
+
+TEST(BlockWiedemannTest, WidthOneDelegatesToScalarExactly) {
+  util::Prng setup(232);
+  const std::size_t n = 20;
+  const auto sp = nonsingular_sparse(n, 3, setup);
+  const matrix::SparseBox<F> box(f, sp);
+  std::vector<F::Element> x_true(n);
+  for (auto& e : x_true) e = f.random(setup);
+  const auto b = sp.apply(f, x_true);
+
+  util::Prng p1(99), p2(99);
+  util::OpScope s1;
+  auto scalar = core::wiedemann_solve_status(f, box, b, p1, 1u << 20);
+  const auto c1 = s1.counts();
+  util::OpScope s2;
+  auto block = core::block_wiedemann_solve_status(f, box, b, p2, 1u << 20, 1);
+  expect_counts_eq(c1, s2.counts(), "width-1 delegation ops");
+  ASSERT_TRUE(scalar.ok);
+  ASSERT_TRUE(block.ok);
+  EXPECT_EQ(block.x, scalar.x);
+  EXPECT_EQ(block.attempts, scalar.attempts);
+  ASSERT_EQ(block.diags.size(), scalar.diags.size());
+  for (std::size_t i = 0; i < block.diags.size(); ++i) {
+    EXPECT_EQ(block.diags[i].projection_seed, scalar.diags[i].projection_seed);
+  }
+}
+
+TEST(BlockWiedemannTest, DetMatchesGauss) {
+  util::Prng prng(233);
+  for (std::size_t n : {6u, 13u}) {
+    const auto a = nonsingular_matrix(n, prng);
+    const auto expect = matrix::det_gauss(f, a);
+    for (std::size_t bw : {2u, 4u}) {
+      util::Prng p(1000 + n);
+      auto res = core::block_wiedemann_det(f, a, p, 1u << 20, bw);
+      ASSERT_TRUE(res.ok) << "n=" << n << " bw=" << bw << ": "
+                          << res.status.message();
+      EXPECT_TRUE(f.eq(res.value, expect)) << "n=" << n << " bw=" << bw;
+    }
+  }
+}
+
+TEST(BlockWiedemannTest, BitIdenticalAcrossWorkersAndSimdLevels) {
+  util::Prng setup(234);
+  const std::size_t n = 256;
+  const auto sp = nonsingular_sparse(n, 6, setup);
+  const matrix::SparseBox<F> box(f, sp);
+  std::vector<F::Element> x_true(n);
+  for (auto& e : x_true) e = f.random(setup);
+  const auto b = sp.apply(f, x_true);
+
+  auto run = [&]() {
+    util::Prng p(4242);
+    util::OpScope scope;
+    auto res = core::block_wiedemann_solve_status(f, box, b, p, 1u << 20, 4);
+    return std::pair(std::move(res), scope.counts());
+  };
+
+  auto& ctx = pram::ExecutionContext::global();
+  const auto saved_level = field::simd::simd_level();
+  const bool saved_ifma = field::simd::simd_ifma();
+  ctx.set_worker_limit(1);
+  field::simd::set_simd_level(field::simd::SimdLevel::kScalar);
+  const auto [base, base_ops] = run();
+  ASSERT_TRUE(base.ok);
+  ASSERT_EQ(base.x, x_true);
+
+  constexpr field::simd::SimdLevel kSweep[] = {
+      field::simd::SimdLevel::kScalar, field::simd::SimdLevel::kNeon,
+      field::simd::SimdLevel::kAvx2, field::simd::SimdLevel::kAvx512};
+  for (unsigned workers : {1u, 2u, 8u}) {
+    for (const auto want : kSweep) {
+      ctx.set_worker_limit(workers);
+      field::simd::set_simd_level(want);
+      const auto [res, ops] = run();
+      ASSERT_TRUE(res.ok) << workers << " workers";
+      EXPECT_EQ(res.x, base.x)
+          << workers << " workers, level "
+          << field::simd::to_string(field::simd::simd_level());
+      EXPECT_EQ(res.attempts, base.attempts);
+      expect_counts_eq(ops, base_ops, "block solve ops across workers/SIMD");
+    }
+  }
+  ctx.set_worker_limit(0);
+  field::simd::set_simd_level(saved_level);
+  field::simd::set_simd_ifma(saved_ifma);
+}
+
+TEST(BlockWiedemannTest, KpSolveBlockWidthMatchesScalarRoute) {
+  util::Prng setup(235);
+  const std::size_t n = 32;
+  const auto sp = nonsingular_sparse(n, 4, setup);
+  const matrix::SparseBox<F> box(f, sp);
+  std::vector<F::Element> x_true(n);
+  for (auto& e : x_true) e = f.random(setup);
+  const auto b = sp.apply(f, x_true);
+
+  core::SolverOptions scalar_opt;
+  scalar_opt.route = core::KrylovRoute::kIterative;
+  util::Prng p1(77);
+  const auto scalar = core::kp_solve(f, box, b, p1, scalar_opt);
+  ASSERT_TRUE(scalar.ok);
+  ASSERT_EQ(scalar.x, x_true);
+
+  for (std::size_t bw : {2u, 4u, 8u}) {
+    core::SolverOptions opt = scalar_opt;
+    opt.block_width = bw;
+    util::Prng p2(77);
+    const auto block = core::kp_solve(f, box, b, p2, opt);
+    ASSERT_TRUE(block.ok) << "bw=" << bw << ": " << block.status.message();
+    // Same preconditioner stream, same canonical charpoly of A-tilde, same
+    // unique solution and determinant -- only the Krylov phase differs.
+    EXPECT_EQ(block.x, scalar.x) << "bw=" << bw;
+    EXPECT_TRUE(f.eq(block.det, scalar.det)) << "bw=" << bw;
+    ASSERT_EQ(block.charpoly_at.size(), scalar.charpoly_at.size());
+    for (std::size_t i = 0; i < block.charpoly_at.size(); ++i) {
+      EXPECT_TRUE(f.eq(block.charpoly_at[i], scalar.charpoly_at[i]))
+          << "bw=" << bw << " coeff " << i;
+    }
+  }
+}
+
+TEST(BlockWiedemannTest, KpSolveSmallFieldFallsBackToScalar) {
+  // Zp<31> cannot supply the 2n + 2 evaluation points at n = 20, so
+  // block_width must quietly resolve to the scalar route: identical
+  // answers AND identical op counts.
+  using Fs = field::Zp<31>;
+  Fs fs;
+  util::Prng setup(236);
+  const std::size_t n = 20;
+  matrix::Matrix<Fs> a(n, n, fs.zero());
+  for (;;) {
+    a = matrix::random_matrix(fs, n, n, setup);
+    if (!fs.is_zero(matrix::det_gauss(fs, a))) break;
+  }
+  std::vector<Fs::Element> x_true(n);
+  for (auto& e : x_true) e = fs.random(setup);
+  const auto b = matrix::mat_vec(fs, a, x_true);
+  const matrix::DenseBox<Fs> box(fs, a);
+
+  core::SolverOptions opt1;
+  opt1.route = core::KrylovRoute::kIterative;
+  core::SolverOptions opt4 = opt1;
+  opt4.block_width = 4;
+
+  util::Prng p1(31), p4(31);
+  util::OpScope s1;
+  const auto r1 = core::kp_solve(fs, box, b, p1, opt1);
+  const auto c1 = s1.counts();
+  util::OpScope s4;
+  const auto r4 = core::kp_solve(fs, box, b, p4, opt4);
+  expect_counts_eq(c1, s4.counts(), "small-field fallback ops");
+  ASSERT_EQ(r1.ok, r4.ok);
+  EXPECT_EQ(r4.x, r1.x);
+  EXPECT_EQ(r4.attempts, r1.attempts);
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection: the new stages are deterministically reachable and the
+// retries re-draw only the projection stream.
+
+TEST(BlockWiedemannFaultInjectionTest, BlockProjectionFaultRetries) {
+  KP_REQUIRE_FAULT_INJECTION();
+  util::Prng setup(241);
+  const std::size_t n = 24;
+  const auto sp = nonsingular_sparse(n, 3, setup);
+  const matrix::SparseBox<F> box(f, sp);
+  std::vector<F::Element> x_true(n);
+  for (auto& e : x_true) e = f.random(setup);
+  const auto b = sp.apply(f, x_true);
+
+  util::fault::ScopedFault fi(Stage::kBlockProjection, /*attempt=*/1);
+  util::Prng p(11);
+  auto res = core::block_wiedemann_solve_status(f, box, b, p, 1u << 20, 4);
+  EXPECT_EQ(fi.fired(), 1u);
+  ASSERT_TRUE(res.ok);
+  EXPECT_EQ(res.attempts, 2);
+  EXPECT_EQ(res.x, x_true);
+  ASSERT_EQ(res.diags.size(), 2u);
+  EXPECT_EQ(res.diags[0].kind, FailureKind::kDegenerateProjection);
+  EXPECT_EQ(res.diags[0].stage, Stage::kBlockProjection);
+  EXPECT_TRUE(res.diags[0].injected);
+  EXPECT_NE(res.diags[1].projection_seed, res.diags[0].projection_seed);
+}
+
+TEST(BlockWiedemannFaultInjectionTest, BlockGeneratorFaultRetries) {
+  KP_REQUIRE_FAULT_INJECTION();
+  util::Prng setup(242);
+  const std::size_t n = 24;
+  const auto sp = nonsingular_sparse(n, 3, setup);
+  const matrix::SparseBox<F> box(f, sp);
+  std::vector<F::Element> x_true(n);
+  for (auto& e : x_true) e = f.random(setup);
+  const auto b = sp.apply(f, x_true);
+
+  util::fault::ScopedFault fi(Stage::kBlockGenerator, /*attempt=*/1);
+  util::Prng p(12);
+  auto res = core::block_wiedemann_solve_status(f, box, b, p, 1u << 20, 4);
+  EXPECT_EQ(fi.fired(), 1u);
+  ASSERT_TRUE(res.ok);
+  EXPECT_EQ(res.attempts, 2);
+  EXPECT_EQ(res.x, x_true);
+  ASSERT_EQ(res.diags.size(), 2u);
+  EXPECT_EQ(res.diags[0].stage, Stage::kBlockGenerator);
+  EXPECT_TRUE(res.diags[0].injected);
+}
+
+TEST(BlockWiedemannFaultInjectionTest, KpSolveBlockFaultRedrawsOnlyProjection) {
+  KP_REQUIRE_FAULT_INJECTION();
+  util::Prng setup(243);
+  const std::size_t n = 24;
+  const auto sp = nonsingular_sparse(n, 3, setup);
+  const matrix::SparseBox<F> box(f, sp);
+  std::vector<F::Element> x_true(n);
+  for (auto& e : x_true) e = f.random(setup);
+  const auto b = sp.apply(f, x_true);
+
+  core::SolverOptions opt;
+  opt.route = core::KrylovRoute::kIterative;
+  opt.block_width = 4;
+  util::fault::ScopedFault fi(Stage::kBlockProjection, /*attempt=*/1);
+  util::Prng p(13);
+  auto res = core::kp_solve(f, box, b, p, opt);
+  EXPECT_EQ(fi.fired(), 1u);
+  ASSERT_TRUE(res.ok);
+  EXPECT_EQ(res.attempts, 2);
+  EXPECT_EQ(res.x, x_true);
+  ASSERT_EQ(res.diags.size(), 2u);
+  EXPECT_EQ(res.diags[0].kind, FailureKind::kDegenerateProjection);
+  EXPECT_EQ(res.diags[0].stage, Stage::kBlockProjection);
+  EXPECT_TRUE(res.diags[0].injected);
+  // kDegenerateProjection targets the projection stream only: H, D kept.
+  EXPECT_TRUE(res.diags[1].redrew_projection);
+  EXPECT_FALSE(res.diags[1].redrew_precondition);
+  EXPECT_EQ(res.diags[1].precondition_seed, res.diags[0].precondition_seed);
+  EXPECT_NE(res.diags[1].projection_seed, res.diags[0].projection_seed);
+}
+
+}  // namespace
+}  // namespace kp
