@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/solver.h"
+#include "field/bigint.h"
 #include "field/reference.h"
 #include "field/simd.h"
 #include "field/zp.h"
@@ -266,6 +267,41 @@ int main() {
       (void)r;
     });
     add_row("kp_solve", n, ms_ref, ms_fast, cr.total(), match);
+  }
+
+  {
+    // Rational normalization: BigInt::gcd's binary (Stein) fast path for
+    // word-size operands -- the hot loop of CRT rational reconstruction --
+    // against a plain division-based Euclid on the same BigInt values.
+    using kp::field::BigInt;
+    const std::size_t n = 1 << 14;
+    kp::util::Prng prng(17);
+    std::vector<BigInt> as, bs;
+    as.reserve(n);
+    bs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto g = 1 + prng.below(1u << 20);
+      as.push_back(BigInt(static_cast<std::int64_t>(g * (1 + prng.below(1u << 20)))));
+      bs.push_back(BigInt(static_cast<std::int64_t>(g * (1 + prng.below(1u << 20)))));
+    }
+    auto euclid = [](BigInt a, BigInt b) {
+      while (!b.is_zero()) {
+        BigInt r = a % b;
+        a = std::move(b);
+        b = std::move(r);
+      }
+      return a.is_negative() ? -a : a;
+    };
+    std::vector<BigInt> out_ref(n), out_fast(n);
+    const double ms_ref = time_ms([&] {
+      for (std::size_t i = 0; i < n; ++i) out_ref[i] = euclid(as[i], bs[i]);
+    });
+    const double ms_fast = time_ms([&] {
+      for (std::size_t i = 0; i < n; ++i) out_fast[i] = BigInt::gcd(as[i], bs[i]);
+    });
+    const bool match = out_ref == out_fast;
+    check(match, "binary gcd vs division euclid");
+    add_row("bigint_gcd_word", n, ms_ref, ms_fast, n, match);
   }
 
   {

@@ -32,8 +32,9 @@
 #include "matrix/blackbox.h"
 #include "matrix/dense.h"
 #include "matrix/gauss.h"
-#include "poly/interp.h"
+#include "matrix/matpoly.h"
 #include "poly/poly.h"
+#include "poly/poly_ring.h"
 #include "pram/parallel_for.h"
 #include "seq/matrix_berlekamp_massey.h"
 #include "util/op_count.h"
@@ -203,21 +204,28 @@ std::vector<typename F::Element> block_combine(
 
 namespace detail {
 
-/// det G(x) of the first b generator columns, computed by evaluation at
-/// deg+1 distinct points (Horner per column, det_gauss per point, points
-/// chunked over the pool) and interpolation.  For the preconditioned
-/// operator of Theorem 2 the minimal generator's determinant is a scalar
-/// multiple of the characteristic polynomial (the b x b block analogue of
-/// Lemma 2's f_u = f^A), which is exactly what the solve / det recovery
-/// needs.  Fails with kSampleSetTooSmall when the field has fewer than
-/// deg+1 distinct points of the canonical from_int enumeration.
+/// det G(x) of the first b generator columns, computed by the Berkowitz
+/// division-free determinant over the commutative ring K[x]: the iterated
+/// Toeplitz chain produces the characteristic polynomial of G (in a formal
+/// variable lambda, coefficients in K[x]) and det G = (-1)^b * its constant
+/// coefficient.  Every K[x] matrix product in the chain -- the A_sub^i
+/// applies behind the principal-minor sums and the (k+2) x (k+1) Toeplitz
+/// steps -- runs through matrix::matpoly_mul, i.e. batched NTT transforms
+/// with pointwise transform-domain accumulation (short operands fall back
+/// to mat_mul inside matpoly_mul itself).  For the preconditioned operator
+/// of Theorem 2 the minimal generator's determinant is a scalar multiple of
+/// the characteristic polynomial (the b x b block analogue of Lemma 2's
+/// f_u = f^A), which is exactly what the solve / det recovery needs.
+/// Being division-free, this also lifts the old det-by-interpolation
+/// restriction to fields with at least deg+1 enumeration points.
 template <kp::field::Field F>
 kp::util::StatusOr<std::vector<typename F::Element>> generator_determinant(
     const F& f, const seq::BlockGenerator<F>& gen) {
-  using E = typename F::Element;
   using kp::util::FailureKind;
   using kp::util::Stage;
   using kp::util::Status;
+  using PR = kp::poly::PolyRing<F>;
+  using P = typename PR::Element;
 
   const std::size_t b = gen.block;
   if (gen.columns.size() < b) {
@@ -225,43 +233,60 @@ kp::util::StatusOr<std::vector<typename F::Element>> generator_determinant(
                         Stage::kBlockGenerator,
                         "fewer than b verified generator columns");
   }
-  std::size_t deg = 0;
-  for (std::size_t c = 0; c < b; ++c) deg += gen.degrees[c];
-  const std::uint64_t p = f.characteristic();
-  if (p != 0 && p < deg + 1) {
-    return Status::Fail(FailureKind::kSampleSetTooSmall,
-                        Stage::kBlockGenerator,
-                        "field too small for det-by-interpolation");
-  }
 
-  std::vector<E> points(deg + 1);
-  for (std::size_t i = 0; i <= deg; ++i) {
-    points[i] = f.from_int(static_cast<std::int64_t>(i));
-  }
-  std::vector<E> values(deg + 1, f.zero());
-  auto eval_point = [&](std::size_t i) {
-    matrix::Matrix<F> g(b, b, f.zero());
-    for (std::size_t c = 0; c < b; ++c) {
-      const auto& col = gen.columns[c];
-      std::vector<E> acc(b, f.zero());
-      for (std::size_t j = col.size(); j-- > 0;) {
-        for (std::size_t r = 0; r < b; ++r) {
-          acc[r] = f.add(f.mul(acc[r], points[i]), col[j][r]);
-        }
-      }
-      for (std::size_t r = 0; r < b; ++r) g.at(r, c) = acc[r];
+  const PR ring(f);
+  // M[r][c](x) = sum_j columns[c][j][r] x^j.
+  matrix::Matrix<PR> m(b, b, ring.zero());
+  for (std::size_t c = 0; c < b; ++c) {
+    const auto& col = gen.columns[c];
+    for (std::size_t r = 0; r < b; ++r) {
+      P e(col.size(), f.zero());
+      for (std::size_t j = 0; j < col.size(); ++j) e[j] = col[j][r];
+      ring.strip(e);
+      m.at(r, c) = std::move(e);
     }
-    values[i] = matrix::det_gauss(f, g);
-  };
-  if (kp::field::concurrent_ops_v<F> && deg > 0 &&
-      (deg + 1) * b * b * b >= matrix::kParallelGrain) {
-    kp::pram::parallel_for(0, deg + 1, eval_point);
-  } else {
-    for (std::size_t i = 0; i <= deg; ++i) eval_point(i);
   }
 
-  kp::poly::PolyRing<F> ring(f);
-  auto det = kp::poly::interpolate(ring, points, values);
+  // Berkowitz: v starts as [1]; step k multiplies by the (k+2) x (k+1)
+  // Toeplitz matrix built from a = M[k][k] and the principal-minor sums
+  // s_i = M[k, 0..k) . M[0..k, 0..k)^i . M[0..k, k).  After b steps v holds
+  // the charpoly coefficients, leading first.
+  std::vector<P> v{ring.one()};
+  for (std::size_t k = 0; k < b; ++k) {
+    std::vector<P> s(k, ring.zero());
+    if (k > 0) {
+      matrix::Matrix<PR> sub(k, k, ring.zero());
+      matrix::Matrix<PR> w(k, 1, ring.zero());
+      matrix::Matrix<PR> row(1, k, ring.zero());
+      for (std::size_t i = 0; i < k; ++i) {
+        for (std::size_t j = 0; j < k; ++j) sub.at(i, j) = m.at(i, j);
+        w.at(i, 0) = m.at(i, k);
+        row.at(0, i) = m.at(k, i);
+      }
+      for (std::size_t i = 0; i < k; ++i) {
+        if (i > 0) w = matrix::matpoly_mul(ring, sub, w);
+        s[i] = matrix::matpoly_mul(ring, row, w).at(0, 0);
+      }
+    }
+    matrix::Matrix<PR> t(k + 2, k + 1, ring.zero());
+    const P neg_a = ring.neg(m.at(k, k));
+    for (std::size_t i = 0; i <= k; ++i) {
+      t.at(i, i) = ring.one();
+      t.at(i + 1, i) = neg_a;
+    }
+    for (std::size_t i = 0; i < k + 2; ++i) {
+      for (std::size_t j = 0; j + 2 <= i; ++j) t.at(i, j) = ring.neg(s[i - j - 2]);
+    }
+    matrix::Matrix<PR> vm(k + 1, 1, ring.zero());
+    for (std::size_t i = 0; i <= k; ++i) vm.at(i, 0) = std::move(v[i]);
+    auto next = matrix::matpoly_mul(ring, t, vm);
+    v.resize(k + 2);
+    for (std::size_t i = 0; i < k + 2; ++i) v[i] = std::move(next.at(i, 0));
+  }
+
+  // charpoly(lambda) = det(lambda I - M); det M = (-1)^b charpoly(0).
+  P det = std::move(v[b]);
+  if (b & 1) det = ring.neg(det);
   ring.strip(det);
   if (det.empty()) {
     return Status::Fail(FailureKind::kDegenerateProjection,

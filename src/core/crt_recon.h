@@ -1,0 +1,210 @@
+// CRT recombination and rational reconstruction for multi-prime sharding.
+//
+// The CRT sharding engine (core/crt_shard.h) solves one integer system
+// modulo many independent word-size NTT primes; this header turns the
+// per-prime residues back into exact answers over Q:
+//
+//   * CrtCombiner -- incremental Garner CRT over batches of primes.  Within
+//     a batch the residues are merged by a product tree, so every internal
+//     node's modular inverse is computed ONCE and reused for all n + 1
+//     tracked slots (the n solution entries plus the determinant); across
+//     batches a single Garner fold extends the running accumulator.
+//   * rational_reconstruct -- Wang's algorithm: the half-extended Euclid run
+//     on (M, x) stopped at the first remainder <= N yields the unique
+//     n/d = x (mod M) with |n| <= N, 0 < d <= D whenever 2 N D < M.  Plain
+//     iterative Euclid (no half-GCD): reconstruction is a vanishing
+//     fraction of total work next to the shard solves, and the simple loop
+//     is what the early-termination proof sketch in DESIGN.md section 13
+//     reasons about.
+//   * Hadamard-style bit bounds -- a priori caps on how many primes a solve
+//     can possibly need, which is both the fallback cap on K and the
+//     certification threshold for the determinant.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "field/bigint.h"
+#include "field/rational.h"
+
+namespace kp::core {
+
+/// a^{-1} mod m for m >= 2, in [0, m); nullopt when gcd(a, m) != 1.
+inline std::optional<field::BigInt> bigint_invmod(const field::BigInt& a,
+                                                  const field::BigInt& m) {
+  using field::BigInt;
+  BigInt r0 = m, r1 = a % m;
+  if (r1.is_negative()) r1 += m;
+  BigInt t0(0), t1(1);
+  while (!r1.is_zero()) {
+    const BigInt q = r0 / r1;
+    BigInt r2 = r0 - q * r1;
+    r0 = std::move(r1);
+    r1 = std::move(r2);
+    BigInt t2 = t0 - q * t1;
+    t0 = std::move(t1);
+    t1 = std::move(t2);
+  }
+  if (r0 != BigInt(1)) return std::nullopt;
+  if (t0.is_negative()) t0 += m;
+  return t0;
+}
+
+/// The representative of x mod m in (-m/2, m/2] -- how a signed integer
+/// (e.g. a determinant) is read off a CRT accumulator once the modulus
+/// exceeds twice its magnitude.
+inline field::BigInt symmetric_residue(const field::BigInt& x,
+                                       const field::BigInt& m) {
+  field::BigInt r = x % m;
+  if (r.is_negative()) r += m;
+  if (r + r > m) r -= m;
+  return r;
+}
+
+/// Wang rational reconstruction: the unique n/d with n/d = x (mod m),
+/// |n| <= num_bound, 0 < d <= den_bound, gcd(n, d) = 1 -- or nullopt when no
+/// fraction within the bounds matches.  Uniqueness needs
+/// 2 * num_bound * den_bound < m (balanced_bounds below guarantees it);
+/// under early termination the caller additionally verifies the candidate
+/// against the original system, so a premature (wrong) candidate can never
+/// escape.
+inline std::optional<field::Rational> rational_reconstruct(
+    const field::BigInt& x, const field::BigInt& m,
+    const field::BigInt& num_bound, const field::BigInt& den_bound) {
+  using field::BigInt;
+  BigInt r0 = m, r1 = x % m;
+  if (r1.is_negative()) r1 += m;
+  BigInt t0(0), t1(1);
+  // Invariant: t_i * x = r_i (mod m), with |t_i| growing as r_i shrinks.
+  // Stopping at the FIRST r_i <= num_bound is exactly Wang's criterion.
+  while (r1 > num_bound) {
+    const BigInt q = r0 / r1;
+    BigInt r2 = r0 - q * r1;
+    r0 = std::move(r1);
+    r1 = std::move(r2);
+    BigInt t2 = t0 - q * t1;
+    t0 = std::move(t1);
+    t1 = std::move(t2);
+  }
+  BigInt n = std::move(r1), d = std::move(t1);
+  if (d.is_zero()) return std::nullopt;
+  if (d.is_negative()) {
+    n = -n;
+    d = -d;
+  }
+  if (d > den_bound) return std::nullopt;
+  if (BigInt::gcd(n, d) != BigInt(1)) return std::nullopt;
+  return field::Rational(std::move(n), std::move(d));
+}
+
+/// Balanced Wang bounds for a modulus M: N = D = 2^((bits(M) - 2) / 2), so
+/// 2 N D <= 2^(bits(M) - 1) <= M.  Bit-shift only -- no BigInt square root.
+struct RatBounds {
+  field::BigInt num;
+  field::BigInt den;
+};
+
+inline RatBounds balanced_bounds(const field::BigInt& modulus) {
+  const std::size_t bits = modulus.bit_length();
+  const std::size_t k = bits >= 2 ? (bits - 2) / 2 : 0;
+  field::BigInt bound = field::BigInt(1).shl(k);
+  return {bound, bound};
+}
+
+/// Bit length of the Hadamard bound |det A| <= n^(n/2) * 2^(n * entry_bits)
+/// for an n x n integer matrix whose entries have magnitude < 2^entry_bits.
+/// Slight over-estimate (uses ceil(log2 n)); used to cap the shard count and
+/// to certify the reconstructed determinant.
+inline std::size_t hadamard_det_bits(std::size_t n, std::size_t entry_bits) {
+  if (n == 0) return 1;
+  std::size_t log2n = 0;
+  while ((std::size_t{1} << log2n) < n) ++log2n;  // ceil(log2 n)
+  return n * log2n / 2 + n * entry_bits + 2;
+}
+
+/// Bit budget that certainly suffices to reconstruct every entry of the
+/// solution of A x = b by Cramer's rule: numerators are determinants of A
+/// with one column replaced by b, denominators divide det(A), and Wang needs
+/// 2 N D < M on top.
+inline std::size_t solution_modulus_bits(std::size_t n, std::size_t entry_bits,
+                                         std::size_t rhs_bits) {
+  const std::size_t num_bits =
+      hadamard_det_bits(n, entry_bits > rhs_bits ? entry_bits : rhs_bits);
+  const std::size_t den_bits = hadamard_det_bits(n, entry_bits);
+  return num_bits + den_bits + 2;
+}
+
+/// Incremental Garner CRT over a fixed set of tracked slots.  All slots
+/// share the same prime set, so the expensive per-merge modular inverses are
+/// computed once per batch and amortized across every slot.
+class CrtCombiner {
+ public:
+  explicit CrtCombiner(std::size_t slots)
+      : modulus_(1), values_(slots, field::BigInt(0)) {}
+
+  std::size_t slots() const { return values_.size(); }
+  /// Product of every folded prime.
+  const field::BigInt& modulus() const { return modulus_; }
+  /// Slot value in [0, modulus).
+  const field::BigInt& value(std::size_t slot) const { return values_[slot]; }
+
+  /// Folds one batch: primes must be pairwise distinct, coprime to the
+  /// accumulated modulus; residues[slot][j] is slot's value mod primes[j].
+  void fold_batch(const std::vector<std::uint64_t>& primes,
+                  const std::vector<std::vector<std::uint64_t>>& residues) {
+    using field::BigInt;
+    assert(residues.size() == values_.size());
+    if (primes.empty()) return;
+    // Product-tree combine of the batch: shared moduli + inverses, per-slot
+    // values.
+    std::vector<BigInt> batch_vals(values_.size());
+    const BigInt batch_mod = merge_range(primes, residues, 0, primes.size(),
+                                         batch_vals);
+    // One Garner fold of the whole batch into the running accumulator:
+    //   X' = X + M * ((X_b - X) * M^{-1} mod M_b),   M' = M * M_b.
+    const auto inv = bigint_invmod(modulus_ % batch_mod, batch_mod);
+    assert(inv.has_value() && "batch primes not coprime to accumulator");
+    for (std::size_t s = 0; s < values_.size(); ++s) {
+      BigInt delta = ((batch_vals[s] - values_[s]) * *inv) % batch_mod;
+      if (delta.is_negative()) delta += batch_mod;
+      values_[s] += modulus_ * delta;
+    }
+    modulus_ *= batch_mod;
+  }
+
+ private:
+  /// Combines primes[lo, hi) bottom-up; returns the range's modulus and
+  /// writes each slot's residue mod that modulus into vals.
+  static field::BigInt merge_range(
+      const std::vector<std::uint64_t>& primes,
+      const std::vector<std::vector<std::uint64_t>>& residues, std::size_t lo,
+      std::size_t hi, std::vector<field::BigInt>& vals) {
+    using field::BigInt;
+    if (hi - lo == 1) {
+      for (std::size_t s = 0; s < vals.size(); ++s) {
+        vals[s] = BigInt(static_cast<std::int64_t>(residues[s][lo]));
+      }
+      return BigInt(static_cast<std::int64_t>(primes[lo]));
+    }
+    const std::size_t mid = lo + (hi - lo) / 2;
+    std::vector<BigInt> right_vals(vals.size());
+    const BigInt ml = merge_range(primes, residues, lo, mid, vals);
+    const BigInt mr = merge_range(primes, residues, mid, hi, right_vals);
+    const auto inv = bigint_invmod(ml % mr, mr);
+    assert(inv.has_value() && "duplicate prime in batch");
+    for (std::size_t s = 0; s < vals.size(); ++s) {
+      BigInt delta = ((right_vals[s] - vals[s]) * *inv) % mr;
+      if (delta.is_negative()) delta += mr;
+      vals[s] += ml * delta;
+    }
+    return ml * mr;
+  }
+
+  field::BigInt modulus_;
+  std::vector<field::BigInt> values_;
+};
+
+}  // namespace kp::core

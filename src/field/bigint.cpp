@@ -1,6 +1,7 @@
 #include "field/bigint.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cmath>
 #include <limits>
@@ -339,15 +340,65 @@ bool BigInt::operator<(const BigInt& o) const {
   return negative_ ? c > 0 : c < 0;
 }
 
+namespace {
+
+/// Binary (Stein) GCD on word-size magnitudes: shifts and subtractions only,
+/// no division.  Profiling showed Euclid-on-BigInt (Knuth-D per step)
+/// dominating small-rational normalization; word-size operands are by far
+/// the common case there.
+std::uint64_t gcd_binary_u64(std::uint64_t a, std::uint64_t b) {
+  if (a == 0) return b;
+  if (b == 0) return a;
+  const int shift = std::countr_zero(a | b);
+  a >>= std::countr_zero(a);
+  do {
+    b >>= std::countr_zero(b);
+    if (a > b) std::swap(a, b);
+    b -= a;
+  } while (b != 0);
+  return a << shift;
+}
+
+}  // namespace
+
 BigInt BigInt::gcd(BigInt a, BigInt b) {
   a.negative_ = false;
   b.negative_ = false;
+  // Euclid while the operands are large; hand off to the word-size binary
+  // GCD as soon as both magnitudes fit two limbs (which a % b reaches
+  // quickly even for huge inputs, since remainders shrink geometrically).
   while (!b.is_zero()) {
+    if (a.limbs_.size() <= 2 && b.limbs_.size() <= 2) {
+      auto mag = [](const BigInt& v) -> std::uint64_t {
+        std::uint64_t m = v.limbs_.empty() ? 0 : v.limbs_[0];
+        if (v.limbs_.size() == 2) m |= static_cast<Wide>(v.limbs_[1]) << 32;
+        return m;
+      };
+      const std::uint64_t g = gcd_binary_u64(mag(a), mag(b));
+      BigInt out;
+      out.limbs_.assign({static_cast<Limb>(g), static_cast<Limb>(g >> 32)});
+      trim(out.limbs_);
+      return out;
+    }
     BigInt r = a % b;
     a = std::move(b);
     b = std::move(r);
   }
   return a;
+}
+
+std::uint64_t BigInt::mod_u64(std::uint64_t m) const {
+  assert(m >= 1);
+  // Horner over the limbs, most significant first.  The 128-bit intermediate
+  // is required: r < m can be up to 2^64 - 1, so (r << 32) | limb overflows
+  // 64 bits for any m above 2^32.
+  unsigned __int128 r = 0;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    r = ((r << kLimbBits) | limbs_[i]) % m;
+  }
+  std::uint64_t out = static_cast<std::uint64_t>(r);
+  if (negative_ && out != 0) out = m - out;
+  return out;
 }
 
 BigInt BigInt::pow(std::uint64_t e) const {

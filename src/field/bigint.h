@@ -57,8 +57,15 @@ class BigInt {
   bool operator<=(const BigInt& o) const { return !(o < *this); }
   bool operator>=(const BigInt& o) const { return !(*this < o); }
 
-  /// Greatest common divisor (always non-negative).
+  /// Greatest common divisor (always non-negative).  Word-size operands --
+  /// and the tail of any Euclid run once the values shrink to two limbs --
+  /// take a division-free binary (ctz) GCD fast path.
   static BigInt gcd(BigInt a, BigInt b);
+  /// Euclidean remainder of this value modulo m (result in [0, m), i.e.
+  /// non-negative even for negative inputs).  Requires m >= 1.  This is the
+  /// per-entry reduction used to project an integer system into Z/pZ for a
+  /// CRT shard, so it avoids materializing any BigInt temporaries.
+  std::uint64_t mod_u64(std::uint64_t m) const;
   /// this^e for e >= 0.
   BigInt pow(std::uint64_t e) const;
   /// Arithmetic shift left/right by whole bits.

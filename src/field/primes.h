@@ -66,6 +66,43 @@ inline std::uint64_t find_ntt_prime(int k, int bits = 62) {
   return 0;
 }
 
+/// Deterministic NTT-prime iterator: the LARGEST prime p = c * 2^a + 1 with
+/// a >= min_two_adicity, p in [2^(bits-1), 2^bits), and p < below (pass
+/// below = 0 for "no upper cap beyond 2^bits").  Primality is certified by
+/// the deterministic Miller-Rabin above (exact for all 64-bit inputs).
+///
+/// Iterating
+///
+///   p0 = next_ntt_prime(bits, a);
+///   p1 = next_ntt_prime(bits, a, p0);
+///   p2 = next_ntt_prime(bits, a, p1); ...
+///
+/// walks a strictly descending, machine-independent stream of distinct
+/// NTT-friendly primes -- the prime source for CRT sharding
+/// (core/crt_shard.h), where "shard i uses the i-th stream prime" must mean
+/// the same modulus on every host.  Returns 0 when the range [2^(bits-1),
+/// min(below, 2^bits)) holds no further prime of the required shape.
+inline std::uint64_t next_ntt_prime(int bits, int min_two_adicity,
+                                    std::uint64_t below = 0) {
+  if (bits < 3 || bits > 63) return 0;
+  const int a = min_two_adicity;
+  if (a < 1 || a >= bits - 1) return 0;
+  const std::uint64_t step = 1ULL << a;
+  const std::uint64_t hi = 1ULL << bits;       // exclusive
+  const std::uint64_t lo = 1ULL << (bits - 1);  // inclusive
+  const std::uint64_t cap = (below == 0 || below > hi) ? hi : below;
+  if (cap <= lo) return 0;
+  // Largest c with c * 2^a + 1 < cap; candidates descend from there.  Even c
+  // just means two-adicity > a, which still satisfies the minimum, so every
+  // c is admissible and the first prime hit really is the largest in range.
+  for (std::uint64_t c = (cap - 2) >> a; c >= 1; --c) {
+    const std::uint64_t p = c * step + 1;
+    if (p < lo) break;
+    if (p < cap && is_prime_u64(p)) return p;
+  }
+  return 0;
+}
+
 namespace detail {
 
 /// Pollard's rho (Brent variant) returning a non-trivial factor of composite n.

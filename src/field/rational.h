@@ -70,6 +70,9 @@ class Rational {
       num_ = -num_;
       den_ = -den_;
     }
+    // BigInt::gcd runs a division-free binary GCD once both operands are
+    // word-size -- the dominant case here, where profiling showed
+    // Euclid-on-BigInt dwarfing the actual rational arithmetic.
     const BigInt g = BigInt::gcd(num_, den_);
     if (g != BigInt(1) && !g.is_zero()) {
       num_ /= g;

@@ -43,6 +43,9 @@ enum class FailureKind : std::uint8_t {
   kOpBudgetExhausted,      ///< per-attempt op budget hit; degraded to baseline
   kInjectedFault,          ///< synthetic failure from the fault harness
   kDivisionByZero,         ///< a kernel was asked to invert a zero element
+  kBadPrime,               ///< a CRT shard's prime divides det (or the shard
+                           ///< failed deterministically under the shared
+                           ///< transcript); redraw ONLY the prime
 };
 
 /// Where it failed.  Stages double as fault-injection trigger keys
@@ -61,9 +64,11 @@ enum class Stage : std::uint8_t {
   kCircuitEval,      ///< evaluating a recorded circuit / compiled tape
   kBlockProjection,  ///< block Krylov sequence U A^i V (width-b projections)
   kBlockGenerator,   ///< sigma-basis / matrix-BM generator recovery
+  kCrtShard,                 ///< one word-size residue solve of a CRT-sharded run
+  kRationalReconstruction,   ///< CRT recombination / rational reconstruction
 };
 
-inline constexpr int kStageCount = 13;
+inline constexpr int kStageCount = 15;
 
 inline const char* to_string(FailureKind k) {
   switch (k) {
@@ -78,6 +83,7 @@ inline const char* to_string(FailureKind k) {
     case FailureKind::kOpBudgetExhausted: return "op-budget-exhausted";
     case FailureKind::kInjectedFault: return "injected-fault";
     case FailureKind::kDivisionByZero: return "division-by-zero";
+    case FailureKind::kBadPrime: return "bad-prime";
   }
   return "unknown";
 }
@@ -97,6 +103,8 @@ inline const char* to_string(Stage s) {
     case Stage::kCircuitEval: return "circuit-eval";
     case Stage::kBlockProjection: return "block-projection";
     case Stage::kBlockGenerator: return "block-generator";
+    case Stage::kCrtShard: return "crt-shard";
+    case Stage::kRationalReconstruction: return "rational-reconstruction";
   }
   return "unknown";
 }
@@ -196,6 +204,13 @@ struct Diag {
   bool injected = false;                 ///< failure came from util/fault.h
   std::uint64_t sample_size = 0;         ///< |S| this attempt used
   OpCounts ops;                          ///< field ops this attempt cost
+  /// CRT sharding (core/crt_shard.h): the word-size modulus this record's
+  /// residue solve ran over (0 for non-sharded attempts), and the position
+  /// of the prime in the deterministic stream (-1 for non-sharded attempts).
+  /// A kBadPrime record followed by a record with a larger stream index and
+  /// the SAME transcript seed is the prime-only redraw in action.
+  std::uint64_t shard_modulus = 0;
+  std::int64_t shard_prime_index = -1;
 };
 
 }  // namespace kp::util
