@@ -191,6 +191,7 @@ int main() {
   for (const Stage stage : stages) {
     int attempts = 0;
     std::string redrew;
+    kp::util::Diag last_diag;
     const double ms = time_ms([&] {
       kp::util::fault::ScopedFault fi(stage, /*attempt=*/1);
       kp::util::Prng prng(42);
@@ -200,6 +201,7 @@ int main() {
       check(res.attempts == 2, "recovery needed more than one retry");
       attempts = res.attempts;
       const auto& d = res.diags.back();
+      last_diag = d;
       redrew = d.redrew_precondition && d.redrew_projection ? "both"
                : d.redrew_precondition                      ? "H,D"
                                                             : "u,v";
@@ -213,6 +215,9 @@ int main() {
     report.put("redrew", redrew);
     report.put("wall_ms", ms);
     report.put("vs_clean_pct", pct);
+    // The full per-attempt record, via the shared serializer instead of a
+    // hand-formatted row.
+    report.put_json("diag", kp::util::to_json(last_diag));
   }
 
   // Degradation path: a persistent fault with a tight op budget must settle

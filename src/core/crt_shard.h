@@ -96,6 +96,15 @@ struct CrtOptions {
   /// Per-shard pipeline knobs (block width, route, budgets...).  The engine
   /// forces verify + dense_fallback on top, see shard_solver_options().
   SolverOptions solver;
+  /// Warm-start pinning for sessions (core/session.h): primes a previous
+  /// solve of the SAME operator proved good, pre-seeded into the stream
+  /// cache so repeat solves skip the next_ntt_prime certification work, and
+  /// the transcript seed that run used (0 = fork a fresh one from the
+  /// caller's prng).  Correctness is unaffected: a pinned prime that turns
+  /// bad for a new right-hand side is still detected and redrawn, because
+  /// pinning only pre-populates the deterministic stream.
+  std::vector<std::uint64_t> pinned_primes;
+  std::uint64_t pinned_transcript_seed = 0;
 };
 
 /// Raw output of one successful shard (keep_residues only).
@@ -151,6 +160,25 @@ class NttPrimeStream {
  public:
   NttPrimeStream(int bits, int min_two_adicity)
       : bits_(bits), adicity_(min_two_adicity) {}
+
+  /// Pre-seeds the memo with primes certified by a previous run over the
+  /// same operator (CrtOptions::pinned_primes): positions 0..k-1 are served
+  /// from the pin without re-running next_ntt_prime, and the stream
+  /// continues descending past the last pinned prime on demand (so bad-prime
+  /// redraws still work).  A non-descending or zero-containing pin is
+  /// ignored -- the stream must stay strictly descending to be duplicate-
+  /// free.
+  NttPrimeStream(int bits, int min_two_adicity,
+                 const std::vector<std::uint64_t>& pinned)
+      : bits_(bits), adicity_(min_two_adicity) {
+    for (const std::uint64_t p : pinned) {
+      if (p == 0 || (!cache_.empty() && p >= cache_.back())) {
+        cache_.clear();
+        return;
+      }
+      cache_.push_back(p);
+    }
+  }
 
   std::uint64_t at(std::size_t index) {
     std::lock_guard<std::mutex> lk(m_);
@@ -331,7 +359,12 @@ inline CrtSolveResult crt_solve(const field::RationalField& f,
   // The shared transcript: one fork of the caller's stream seeds EVERY
   // shard, so all per-shard randomness (preconditioners, projections) is
   // replayed identically and diagnostics aggregate across shards.
-  out.transcript_seed = prng.fork(0x6372742d73686472ULL).seed();  // "crt-shdr"
+  out.transcript_seed =
+      opt.pinned_transcript_seed != 0
+          ? opt.pinned_transcript_seed  // session warm start: replay the
+                                        // transcript the pinned primes were
+                                        // certified under
+          : prng.fork(0x6372742d73686472ULL).seed();  // "crt-shdr"
 
   // Generic multi-precision fallback, also the singularity prover.
   auto run_generic = [&](Status why) {
@@ -393,7 +426,7 @@ inline CrtSolveResult crt_solve(const field::RationalField& f,
     while ((std::size_t{1} << adicity) < 8 * n * n) ++adicity;
     adicity += 2;
   }
-  detail::NttPrimeStream stream(opt.prime_bits, adicity);
+  detail::NttPrimeStream stream(opt.prime_bits, adicity, opt.pinned_primes);
 
   const std::size_t batch =
       opt.batch_size != 0

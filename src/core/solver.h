@@ -61,6 +61,7 @@
 #include "matrix/gauss.h"
 #include "matrix/matmul.h"
 #include "seq/newton_toeplitz.h"
+#include "util/deadline.h"
 #include "util/fault.h"
 #include "util/prng.h"
 #include "util/status.h"
@@ -104,6 +105,12 @@ struct SolverOptions {
   /// route is doubling, n <= 1, or the field is too small for the
   /// det-by-interpolation step (characteristic < 2n + 2).
   std::size_t block_width = 1;
+  /// Cooperative deadline/cancellation token (util/deadline.h), checked at
+  /// the same stage boundaries as the KP_FAULT_POINT sites.  A trip aborts
+  /// the run with kDeadlineExceeded/kCancelled at the stage that noticed:
+  /// no further attempts, no dense fallback -- the caller stopped wanting
+  /// the answer.  Not owned; must outlive the call.  nullptr = uncontrolled.
+  const util::ExecControl* control = nullptr;
 };
 
 /// Outcome of one pipeline run.
@@ -321,6 +328,12 @@ SolveResult<F> theorem4_run(const F& f, const B& a,
     res.sample_size_used = s;
 
     const Status st = [&]() -> Status {
+      // Deadline/cancellation checks share the fault-point boundaries: one
+      // at the draw, one after the Krylov work, one before verification.
+      if (Status ctl = util::ExecControl::check(opt.control, Stage::kDraw);
+          !ctl.ok()) {
+        return ctl;
+      }
       if (KP_FAULT_POINT(Stage::kDraw)) {
         return Status::Injected(FailureKind::kInjectedFault, Stage::kDraw);
       }
@@ -410,6 +423,11 @@ SolveResult<F> theorem4_run(const F& f, const B& a,
         if (rhs) xt = solve_from_annihilator(f, at, g, *rhs);
       }
 
+      if (Status ctl =
+              util::ExecControl::check(opt.control, Stage::kSolveFinish);
+          !ctl.ok()) {
+        return ctl;
+      }
       // det(A-tilde) = (-1)^n g(0); divide out the preconditioner.  det(H D)
       // can only vanish on an unlucky draw (g(0) != 0 already rules out the
       // composite), but the zero check guards the division regardless.
@@ -429,6 +447,11 @@ SolveResult<F> theorem4_run(const F& f, const B& a,
         }
         x = pre->unprecondition(f, ring, xt);
         if (opt.verify) {
+          if (Status ctl =
+                  util::ExecControl::check(opt.control, Stage::kVerify);
+              !ctl.ok()) {
+            return ctl;
+          }
           if (KP_FAULT_POINT(Stage::kVerify)) {
             return Status::Injected(FailureKind::kVerifyMismatch, Stage::kVerify);
           }
@@ -456,6 +479,13 @@ SolveResult<F> theorem4_run(const F& f, const B& a,
       return res;
     }
     last = st;
+
+    // A control failure is not bad luck: the caller stopped wanting the
+    // answer, so neither further attempts nor the dense fallback may run.
+    if (util::is_control_failure(st.kind())) {
+      res.status = st;
+      return res;
+    }
 
     // Op budget: a pathologically expensive failed attempt stops the loop
     // (the degraded baseline below takes over instead of re-rolling).

@@ -6,11 +6,14 @@
 // same unit cost model as everything else.
 //
 // Twiddle factors are cached per (modulus, root, transform size) in a
-// process-wide table shared by every thread: lookups walk an immutable
-// lock-free list (hits take no lock at all), and only a miss takes the mutex
-// to build and publish a new entry -- so pooled workers issuing their own
-// transforms stop duplicating both the setup work and the table memory the
-// per-thread caches of the previous revision paid.  Each cached table also
+// process-wide table shared by every thread: lookups walk a lock-free list
+// (hits take no lock at all), and only a miss takes the mutex to build and
+// publish a new entry -- so pooled workers issuing their own transforms stop
+// duplicating both the setup work and the table memory the per-thread caches
+// of the previous revision paid.  A byte budget (KP_CACHE_BUDGET /
+// set_cache_budget) bounds the cache with LRU eviction for long-running
+// services; evicted tables stay alive as long as an in-flight transform
+// holds their shared_ptr.  Each cached table also
 // carries Shoup precomputed quotients in a per-level streamed layout, so
 // word-sized prime fields (FieldKernels, field/kernels.h) run Harvey-style
 // lazy butterflies -- three word multiplies each, residues in [0, 4p), one
@@ -40,6 +43,8 @@
 #include <atomic>
 #include <cassert>
 #include <cstdint>
+#include <cstdlib>
+#include <memory>
 #include <mutex>
 #include <vector>
 
@@ -112,57 +117,230 @@ inline int two_adicity(std::uint64_t p) {
   return k;
 }
 
-/// Append-only key/value table: lock-free on hit, mutex-guarded on miss.
+}  // namespace detail
+
+/// Observable state of one process-wide SharedCache instance.
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;      ///< entries built (includes rebuilds)
+  std::uint64_t evictions = 0;   ///< entries dropped by the byte budget
+  std::size_t bytes = 0;         ///< live payload bytes currently cached
+  std::size_t entries = 0;       ///< live entries currently cached
+};
+
+/// Per-cache byte budget for the process-wide SharedCache instances below
+/// (twiddle tables, scale inverses, primitive roots) and the spectrum caches
+/// layered on them.  0 (the default) means unlimited -- the pre-service
+/// behavior.  Initialized once from the KP_CACHE_BUDGET environment variable
+/// (bytes); set_cache_budget overrides it at runtime so a long-running
+/// service can bound its footprint without a restart.  Each cache enforces
+/// the budget on its own contents; the twiddle cache dominates (its tables
+/// are O(n) words), the others hold a few machine words per entry.
+inline std::atomic<std::size_t>& cache_budget_ref() {
+  static std::atomic<std::size_t> budget{[] {
+    const char* env = std::getenv("KP_CACHE_BUDGET");
+    return env != nullptr
+               ? static_cast<std::size_t>(std::strtoull(env, nullptr, 10))
+               : std::size_t{0};
+  }()};
+  return budget;
+}
+
+inline void set_cache_budget(std::size_t bytes) {
+  cache_budget_ref().store(bytes, std::memory_order_relaxed);
+}
+
+inline std::size_t cache_budget() {
+  return cache_budget_ref().load(std::memory_order_relaxed);
+}
+
+namespace detail {
+
+/// Key/value table: lock-free on hit, mutex-guarded on miss, bounded by the
+/// process-wide byte budget (cache_budget) with LRU eviction.
 ///
-/// Entries are immutable nodes prepended to an atomic head, so a reader
-/// walks the list with one acquire load and never blocks a writer; a miss
-/// takes the mutex, re-checks (another thread may have raced the build), and
-/// publishes with a release store.  Values are never moved or dropped until
-/// process exit, so returned references stay valid for the caller's
-/// lifetime.  Sized for the handful of (modulus, root, size) combinations a
-/// run touches, where a linear walk beats a locked map.
+/// Entries are nodes prepended to an atomic head; a reader registers in the
+/// lock-free readers_ count, walks the list with acquire loads, and copies
+/// out the entry's shared_ptr -- no mutex on the hit path.  A miss takes the
+/// mutex, re-checks (another thread may have raced the build), publishes the
+/// new node, and -- when the cache exceeds the budget -- unlinks the
+/// least-recently-used nodes.  Unlinked nodes are deleted only after the
+/// reader count has been observed at zero (a seq_cst fence pairs with the
+/// readers' seq_cst increment, the classic asymmetric-Dekker handshake), so
+/// an in-flight walk never touches freed memory; until then they sit on a
+/// retired list.  Values live behind shared_ptr, so a caller's copy pins the
+/// payload across eviction for as long as it needs it.
 template <class K, class V>
 class SharedCache {
  public:
+  using ValuePtr = std::shared_ptr<const V>;
+
   ~SharedCache() {
     Node* cur = head_.load(std::memory_order_acquire);
     while (cur != nullptr) {
-      Node* next = cur->next;
+      Node* next = cur->next.load(std::memory_order_acquire);
       delete cur;
       cur = next;
     }
+    for (Node* n : retired_) delete n;
+  }
+
+  /// Returns the cached value for `key`, building it with make() on a miss.
+  /// `cost` maps a built value to its payload byte size for the budget.
+  template <class Make, class Cost>
+  ValuePtr get_or_make(const K& key, Make&& make, Cost&& cost) {
+    if (ValuePtr v = find(key)) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return v;
+    }
+    std::lock_guard<std::mutex> lk(mu_);
+    if (ValuePtr v = find(key)) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return v;
+    }
+    auto value = std::make_shared<const V>(make());
+    Node* node = new Node;
+    node->key = key;
+    node->value = value;
+    node->bytes = cost(*value);
+    node->last_use.store(next_tick(), std::memory_order_relaxed);
+    node->next.store(head_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    head_.store(node, std::memory_order_seq_cst);
+    bytes_.fetch_add(node->bytes, std::memory_order_relaxed);
+    entries_.fetch_add(1, std::memory_order_relaxed);
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    evict_over_budget(node);
+    return value;
   }
 
   template <class Make>
-  const V& get_or_make(const K& key, Make&& make) {
-    for (const Node* cur = head_.load(std::memory_order_acquire);
-         cur != nullptr; cur = cur->next) {
-      if (cur->key == key) return cur->value;
-    }
-    std::lock_guard<std::mutex> lk(mu_);
-    for (const Node* cur = head_.load(std::memory_order_relaxed);
-         cur != nullptr; cur = cur->next) {
-      if (cur->key == key) return cur->value;
-    }
-    Node* node = new Node{key, make(), head_.load(std::memory_order_relaxed)};
-    head_.store(node, std::memory_order_release);
-    return node->value;
+  ValuePtr get_or_make(const K& key, Make&& make) {
+    return get_or_make(key, std::forward<Make>(make),
+                       [](const V&) { return sizeof(V); });
+  }
+
+  CacheStats stats() const {
+    CacheStats s;
+    s.hits = hits_.load(std::memory_order_relaxed);
+    s.misses = misses_.load(std::memory_order_relaxed);
+    s.evictions = evictions_.load(std::memory_order_relaxed);
+    s.bytes = bytes_.load(std::memory_order_relaxed);
+    s.entries = entries_.load(std::memory_order_relaxed);
+    return s;
   }
 
  private:
   struct Node {
-    K key;
-    V value;
-    Node* next;
+    K key{};
+    std::shared_ptr<const V> value;
+    std::size_t bytes = 0;
+    std::atomic<std::uint64_t> last_use{0};
+    std::atomic<Node*> next{nullptr};
   };
+
+  std::uint64_t next_tick() {
+    return tick_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  /// Lock-free lookup.  The seq_cst increment is the reader half of the
+  /// eviction handshake: any walk that can reach a node registered BEFORE
+  /// loading head_, so the evictor's fence + zero-observation proves no walk
+  /// still holds an unlinked node.
+  ValuePtr find(const K& key) {
+    readers_.fetch_add(1, std::memory_order_seq_cst);
+    ValuePtr out;
+    for (Node* cur = head_.load(std::memory_order_acquire); cur != nullptr;
+         cur = cur->next.load(std::memory_order_acquire)) {
+      if (cur->key == key) {
+        cur->last_use.store(next_tick(), std::memory_order_relaxed);
+        out = cur->value;
+        break;
+      }
+    }
+    readers_.fetch_sub(1, std::memory_order_seq_cst);
+    return out;
+  }
+
+  /// Called with mu_ held, right after inserting `keep`.  Unlinks LRU nodes
+  /// until the cache fits the budget (the fresh node is exempt so a budget
+  /// smaller than one entry still makes forward progress), then frees
+  /// whatever retired nodes the reader count allows.
+  void evict_over_budget(const Node* keep) {
+    const std::size_t budget = cache_budget();
+    if (budget == 0) {
+      free_retired();
+      return;
+    }
+    while (bytes_.load(std::memory_order_relaxed) > budget &&
+           entries_.load(std::memory_order_relaxed) > 1) {
+      // Find the LRU node (excluding the one just inserted) and its
+      // predecessor.  The list is short by construction -- a handful of
+      // (modulus, size) combinations -- so a linear scan per eviction is
+      // cheaper than maintaining an ordered index on the hit path.
+      Node* prev = nullptr;
+      Node* victim = nullptr;
+      Node* victim_prev = nullptr;
+      std::uint64_t oldest = ~std::uint64_t{0};
+      for (Node* cur = head_.load(std::memory_order_relaxed); cur != nullptr;
+           cur = cur->next.load(std::memory_order_relaxed)) {
+        if (cur != keep) {
+          const std::uint64_t t = cur->last_use.load(std::memory_order_relaxed);
+          if (t < oldest) {
+            oldest = t;
+            victim = cur;
+            victim_prev = prev;
+          }
+        }
+        prev = cur;
+      }
+      if (victim == nullptr) break;
+      Node* after = victim->next.load(std::memory_order_relaxed);
+      if (victim_prev == nullptr) {
+        head_.store(after, std::memory_order_seq_cst);
+      } else {
+        victim_prev->next.store(after, std::memory_order_seq_cst);
+      }
+      bytes_.fetch_sub(victim->bytes, std::memory_order_relaxed);
+      entries_.fetch_sub(1, std::memory_order_relaxed);
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+      retired_.push_back(victim);
+    }
+    free_retired();
+  }
+
+  /// Called with mu_ held.  Deletes retired nodes once the reader count has
+  /// been observed at zero after their unlinking (new readers cannot reach
+  /// them, and the observation proves the old ones left).  Bounded spin; on
+  /// sustained read traffic the nodes simply wait for the next miss.
+  void free_retired() {
+    if (retired_.empty()) return;
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    for (int spin = 0; spin < 4096; ++spin) {
+      if (readers_.load(std::memory_order_seq_cst) == 0) {
+        for (Node* n : retired_) delete n;
+        retired_.clear();
+        return;
+      }
+    }
+  }
+
   std::atomic<Node*> head_{nullptr};
+  std::atomic<int> readers_{0};
+  std::atomic<std::uint64_t> tick_{0};
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::size_t> bytes_{0};
+  std::atomic<std::size_t> entries_{0};
+  std::vector<Node*> retired_;  ///< unlinked, awaiting reader drain (mu_)
   std::mutex mu_;
 };
 
 /// Cached primitive root per modulus (root search factors p-1, so cache it).
 inline std::uint64_t cached_primitive_root(std::uint64_t p) {
   static SharedCache<std::uint64_t, std::uint64_t> cache;
-  return cache.get_or_make(p, [p] { return kp::field::primitive_root(p); });
+  return *cache.get_or_make(p, [p] { return kp::field::primitive_root(p); });
 }
 
 /// Twiddle powers w^k, k < n/2, for one (modulus, root, size) triple.
@@ -179,11 +357,24 @@ struct TwiddleTable {
 };
 
 /// Process-wide table cache, shared by all pooled workers (see header note).
-inline const TwiddleTable& cached_twiddles(std::uint64_t p, std::uint64_t w,
-                                           std::size_t n) {
+/// Exposed for the budget/eviction tests and service telemetry.
+inline SharedCache<std::array<std::uint64_t, 3>, TwiddleTable>&
+twiddle_cache() {
   static SharedCache<std::array<std::uint64_t, 3>, TwiddleTable> cache;
+  return cache;
+}
+
+/// Returns a pinned pointer to the (modulus, root, size) twiddle table.  The
+/// caller must hold the pointer for the duration of the transform: under a
+/// cache budget the table may be evicted concurrently, and the shared_ptr is
+/// what keeps the butterfly loops' raw `level_pow` pointers alive.
+inline std::shared_ptr<const TwiddleTable> cached_twiddles(std::uint64_t p,
+                                                           std::uint64_t w,
+                                                           std::size_t n) {
   const std::array<std::uint64_t, 3> key{p, w, static_cast<std::uint64_t>(n)};
-  return cache.get_or_make(key, [&] {
+  return twiddle_cache().get_or_make(
+      key,
+      [&] {
     TwiddleTable t;
     const std::size_t half = std::max<std::size_t>(n / 2, 1);
     t.pow.reserve(half);
@@ -203,7 +394,13 @@ inline const TwiddleTable& cached_twiddles(std::uint64_t p, std::uint64_t w,
       }
     }
     return t;
-  });
+      },
+      [](const TwiddleTable& t) {
+        return sizeof(TwiddleTable) +
+               sizeof(std::uint64_t) * (t.pow.capacity() +
+                                        t.level_pow.capacity() +
+                                        t.level_shoup.capacity());
+      });
 }
 
 /// Cached 1/n mod p and its Shoup quotient for the inverse-transform scale.
@@ -215,10 +412,10 @@ struct ScaleInverse {
   std::uint64_t n_inv_shoup;
 };
 
-inline const ScaleInverse& cached_scale_inverse(std::uint64_t p, std::size_t n) {
+inline ScaleInverse cached_scale_inverse(std::uint64_t p, std::size_t n) {
   static SharedCache<std::array<std::uint64_t, 2>, ScaleInverse> cache;
   const std::array<std::uint64_t, 2> key{p, static_cast<std::uint64_t>(n)};
-  return cache.get_or_make(key, [&] {
+  return *cache.get_or_make(key, [&] {
     const std::uint64_t n_inv =
         kp::field::detail::invmod(static_cast<std::uint64_t>(n % p), p);
     return ScaleInverse{n_inv, kp::field::fastmod::shoup_precompute(n_inv, p)};
@@ -280,7 +477,12 @@ void ntt_inplace(const F& f, std::vector<typename F::Element>& a,
   const std::size_t n = a.size();
   assert((n & (n - 1)) == 0 && "NTT size must be a power of two");
   bitrev_permute(a);
-  const TwiddleTable& table = cached_twiddles(p, w_int, n);
+  // Pin the table for the whole transform: the butterfly loops stream raw
+  // pointers into it, and under a cache budget a concurrent miss could
+  // otherwise evict it mid-transform.
+  const std::shared_ptr<const TwiddleTable> table_sp =
+      cached_twiddles(p, w_int, n);
+  const TwiddleTable& table = *table_sp;
   if constexpr (kp::field::kernels::FastField<F>) {
     const std::uint64_t* tw = table.level_pow.data();
     const std::uint64_t* twq = table.level_shoup.data();
@@ -400,6 +602,10 @@ void ntt_inplace(const F& f, std::vector<typename F::Element>& a,
 
 }  // namespace detail
 
+/// Hit/miss/eviction counters and live footprint of the process-wide
+/// twiddle-table cache -- the cache the KP_CACHE_BUDGET knob matters for.
+inline CacheStats twiddle_cache_stats() { return detail::twiddle_cache().stats(); }
+
 /// Runs B independent equal-size transforms, whole transforms per pooled
 /// worker.  Each entry must already be padded to the common power-of-two
 /// size for which `w_int` is a primitive root.  Safe for any domain:
@@ -416,9 +622,10 @@ void ntt_many(const F& f,
   for ([[maybe_unused]] const auto* v : batch) {
     assert(v != nullptr && v->size() == n && "ntt_many: mixed transform sizes");
   }
-  // Build the shared tables once up front so workers only ever take the
-  // lock-free hit path.
-  detail::cached_twiddles(p, w_int, n);
+  // Build the shared table once up front so workers only ever take the
+  // lock-free hit path; holding the pointer pins it against eviction for
+  // the duration of the batch.
+  const auto warm_table = detail::cached_twiddles(p, w_int, n);
   if (kp::field::concurrent_ops_v<F> && batch.size() > 1) {
     kp::pram::parallel_for(0, batch.size(), [&](std::size_t i) {
       detail::ntt_inplace(f, *batch[i], w_int, p);
@@ -482,7 +689,7 @@ std::vector<typename F::Element> ntt_pointwise_finish(const F& f,
     detail::ntt_inplace(f, c, w_inv, p);
     // One logical division for 1/n (the cached value skips the repeated
     // extended Euclid), then the Shoup constant-multiplier scale.
-    const detail::ScaleInverse& si = detail::cached_scale_inverse(p, n);
+    const detail::ScaleInverse si = detail::cached_scale_inverse(p, n);
     kp::util::count_div();
     if (!kp::field::simd::ntt_shoup_scale(c.data(), n, si.n_inv,
                                           si.n_inv_shoup, p)) {

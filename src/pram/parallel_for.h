@@ -37,7 +37,9 @@
 #include <thread>
 #include <vector>
 
+#include "util/deadline.h"
 #include "util/op_count.h"
+#include "util/status.h"
 
 namespace kp::pram {
 
@@ -63,7 +65,29 @@ class ExecutionContext {
     return ctx;
   }
 
+  ExecutionContext() = default;
+
   ~ExecutionContext() { shutdown(); }
+
+  /// Stops and joins the pool.  Idempotent and safe to race with in-flight
+  /// regions: a batch already running retires normally (its submitter
+  /// participates, so losing the workers cannot strand it), workers exit
+  /// once idle, and join() waits for them.  After shutdown, parallel_for
+  /// degrades to the serial loop (defined behavior, no new threads) and
+  /// parallel_for_status reports FailureKind::kShutdown.
+  void shutdown() {
+    std::vector<std::thread> joining;
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      stop_.store(true, std::memory_order_relaxed);
+      joining.swap(threads_);
+    }
+    cv_.notify_all();
+    submit_cv_.notify_all();
+    for (auto& th : joining) th.join();
+  }
+
+  bool is_shutdown() const { return stop_.load(std::memory_order_relaxed); }
 
   /// Total threads ever spawned by this context; stays at most one less
   /// than the largest degree ever requested (worker_count() - 1 unless a
@@ -92,8 +116,64 @@ class ExecutionContext {
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& fn,
                     unsigned max_workers = 0) {
+    const unsigned workers = region_degree(begin, end, max_workers);
+    // Serial fast path: empty/one-worker regions, a nested region (a pool
+    // thread or a region-running submitter must never wait on the pool
+    // again), or a shut-down pool (the legacy void API keeps running
+    // serially -- defined behavior instead of the old spawn-after-join UB).
+    if (workers <= 1 || in_region() || is_shutdown()) {
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+      return;
+    }
+    const kp::util::Status st = submit_region(begin, end, fn, workers, nullptr);
+    if (!st.ok()) {
+      // Lost the shutdown race while waiting for the batch slot: fall back
+      // to the same serial loop the pre-submit check would have taken.
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+    }
+  }
+
+  /// Status-returning variant for callers that must NOT silently degrade:
+  /// after shutdown() it reports FailureKind::kShutdown instead of running,
+  /// and with a control token it refuses expired/cancelled work up front and
+  /// bounds the wait for the batch slot by the deadline (kDeadlineExceeded
+  /// without running a single iteration).  Iterations already started are
+  /// never interrupted -- cancellation stays cooperative, checked by the
+  /// pipeline between stages, not mid-kernel.
+  kp::util::Status parallel_for_status(
+      std::size_t begin, std::size_t end,
+      const std::function<void(std::size_t)>& fn, unsigned max_workers = 0,
+      const kp::util::ExecControl* control = nullptr,
+      kp::util::Stage where = kp::util::Stage::kServiceExecute) {
+    if (auto st = kp::util::ExecControl::check(control, where); !st.ok()) {
+      return st;
+    }
+    if (is_shutdown()) {
+      return kp::util::Status::Fail(kp::util::FailureKind::kShutdown, where,
+                                    "execution context shut down");
+    }
+    const unsigned workers = region_degree(begin, end, max_workers);
+    if (workers <= 1 || in_region()) {
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+      return kp::util::Status::Ok();
+    }
+    kp::util::Status st = submit_region(begin, end, fn, workers, control);
+    if (!st.ok() && st.kind() == kp::util::FailureKind::kShutdown) {
+      // Shutdown raced the submit: the region never ran; report it rather
+      // than degrade, the caller opted into strict semantics.
+      return kp::util::Status::Fail(kp::util::FailureKind::kShutdown, where,
+                                    "execution context shut down");
+    }
+    return st;
+  }
+
+ private:
+  /// Effective parallelism degree of a region after the worker pin, the
+  /// iteration count, and the pool ceiling are applied.
+  unsigned region_degree(std::size_t begin, std::size_t end,
+                         unsigned max_workers) const {
     const std::size_t count = end > begin ? end - begin : 0;
-    if (count == 0) return;
+    if (count == 0) return 0;
     unsigned workers = max_workers == 0 ? worker_count() : max_workers;
     if (const unsigned limit = worker_limit(); limit != 0) {
       // A pin overrides the default degree in both directions; an explicit
@@ -102,13 +182,18 @@ class ExecutionContext {
     }
     if (workers > count) workers = static_cast<unsigned>(count);
     if (workers > kMaxPoolThreads + 1) workers = kMaxPoolThreads + 1;
-    // Serial fast path: one worker, or a nested region (a pool thread or a
-    // region-running submitter must never wait on the pool again).
-    if (workers <= 1 || in_region()) {
-      for (std::size_t i = begin; i < end; ++i) fn(i);
-      return;
-    }
+    return workers;
+  }
 
+  /// The pooled submission path shared by both public entry points.
+  /// Returns kShutdown (without running anything) if the pool stopped
+  /// before the batch was installed, kDeadlineExceeded if the control
+  /// deadline expired while waiting for the batch slot.
+  kp::util::Status submit_region(std::size_t begin, std::size_t end,
+                                 const std::function<void(std::size_t)>& fn,
+                                 unsigned workers,
+                                 const kp::util::ExecControl* control) {
+    const std::size_t count = end - begin;
     // Static block partition: iterations are assumed comparable in cost
     // (rows, Monte Carlo trials); blocks avoid false sharing of counters.
     Batch batch;
@@ -119,9 +204,32 @@ class ExecutionContext {
     batch.blocks = (count + batch.chunk - 1) / batch.chunk;
 
     std::unique_lock<std::mutex> lk(m_);
+    if (stop_.load(std::memory_order_relaxed)) {
+      return kp::util::Status::Fail(kp::util::FailureKind::kShutdown,
+                                    kp::util::Stage::kServiceExecute,
+                                    "execution context shut down");
+    }
     ensure_started(lk, workers);
-    // Serialize batches from concurrent submitters.
-    submit_cv_.wait(lk, [&] { return batch_ == nullptr; });
+    // Serialize batches from concurrent submitters; a control deadline
+    // bounds the wait so an overloaded pool sheds instead of queueing.
+    const auto slot_free = [&] {
+      return batch_ == nullptr || stop_.load(std::memory_order_relaxed);
+    };
+    if (control != nullptr && control->deadline.has_deadline()) {
+      if (!submit_cv_.wait_until(lk, control->deadline.time_point(),
+                                 slot_free)) {
+        return kp::util::Status::Fail(kp::util::FailureKind::kDeadlineExceeded,
+                                      kp::util::Stage::kServiceExecute,
+                                      "deadline expired waiting for the pool");
+      }
+    } else {
+      submit_cv_.wait(lk, slot_free);
+    }
+    if (stop_.load(std::memory_order_relaxed)) {
+      return kp::util::Status::Fail(kp::util::FailureKind::kShutdown,
+                                    kp::util::Stage::kServiceExecute,
+                                    "execution context shut down");
+    }
     batch_ = &batch;
     ++epoch_;
     cv_.notify_all();
@@ -138,9 +246,8 @@ class ExecutionContext {
     // measured work is independent of the degree of parallelism.
     kp::util::tl_op_counts += batch.worker_ops;
     if (batch.error) std::rethrow_exception(batch.error);
+    return kp::util::Status::Ok();
   }
-
- private:
   struct Batch {
     const std::function<void(std::size_t)>* fn = nullptr;
     std::size_t begin = 0, end = 0, chunk = 1;
@@ -162,6 +269,7 @@ class ExecutionContext {
   /// Never shrinks; repeat requests at or below the high-water mark spawn
   /// nothing, preserving the pooled-not-per-call property.
   void ensure_started(std::unique_lock<std::mutex>&, unsigned workers) {
+    if (stop_.load(std::memory_order_relaxed)) return;  // never spawn
     const unsigned want =
         std::min(workers > 0 ? workers - 1 : 0, kMaxPoolThreads);
     while (threads_.size() < want) {
@@ -205,8 +313,10 @@ class ExecutionContext {
     std::uint64_t seen = 0;
     std::unique_lock<std::mutex> lk(m_);
     for (;;) {
-      cv_.wait(lk, [&] { return stop_ || epoch_ != seen; });
-      if (stop_) return;
+      cv_.wait(lk, [&] {
+        return stop_.load(std::memory_order_relaxed) || epoch_ != seen;
+      });
+      if (stop_.load(std::memory_order_relaxed)) return;
       seen = epoch_;
       if (Batch* b = batch_) {
         const kp::util::OpCounts before = kp::util::tl_op_counts;
@@ -217,16 +327,6 @@ class ExecutionContext {
     }
   }
 
-  void shutdown() {
-    {
-      std::lock_guard<std::mutex> lk(m_);
-      stop_ = true;
-    }
-    cv_.notify_all();
-    for (auto& th : threads_) th.join();
-    threads_.clear();
-  }
-
   std::mutex m_;
   std::condition_variable cv_;         ///< workers: new batch / stop
   std::condition_variable done_cv_;    ///< submitter: batch finished
@@ -234,7 +334,9 @@ class ExecutionContext {
   std::vector<std::thread> threads_;
   Batch* batch_ = nullptr;
   std::uint64_t epoch_ = 0;
-  bool stop_ = false;
+  /// Set under m_ (condition-variable correctness) but readable lock-free
+  /// by is_shutdown() and the serial-fallback checks.
+  std::atomic<bool> stop_{false};
   std::atomic<unsigned> worker_limit_{0};
   std::atomic<std::uint64_t> threads_started_{0};
 };

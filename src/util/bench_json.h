@@ -75,6 +75,13 @@ class BenchReport {
     rows_.back().emplace_back(key, value ? "true" : "false");
   }
 
+  /// Embeds an already-serialized JSON value verbatim (object or array) --
+  /// how structured records like util::to_json(Diag) land in a row without
+  /// being re-quoted into a string.
+  void put_json(const std::string& key, std::string raw_json) {
+    rows_.back().emplace_back(key, std::move(raw_json));
+  }
+
   /// Writes BENCH_<name>.json in the current directory.
   void write() {
     written_ = true;

@@ -1,0 +1,151 @@
+// Deadlines and cooperative cancellation for long-running pipelines.
+//
+// The solver's Las Vegas loops and the service layer (core/service.h) both
+// need a way to stop work that is no longer wanted: a request whose client
+// deadline passed, a batch whose submitter cancelled, a pool region raced by
+// shutdown.  This header provides the one token threaded through all of
+// them:
+//
+//   * Deadline      -- an absolute steady_clock point (or "never");
+//   * CancelFlag    -- a shared, thread-safe cancellation latch;
+//   * ExecControl   -- the pair, checked at stage boundaries with check().
+//
+// The contract is COOPERATIVE: nothing is interrupted mid-kernel.  Pipelines
+// call control->check(stage) at the same boundaries where KP_FAULT_POINT
+// sites live (attempt start, after the Krylov projection, before the
+// verification), so a deadline or cancellation surfaces as an ordinary
+// util::Status -- FailureKind::kDeadlineExceeded or kCancelled at the stage
+// that noticed it -- and flows through the existing Diag machinery.  A null
+// ExecControl pointer (the default everywhere) costs nothing.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+
+#include "util/status.h"
+
+namespace kp::util {
+
+/// An absolute point in time after which work should stop.  Default
+/// constructed it never expires; after(d) expires d from now.  Cheap to
+/// copy; comparisons use the monotonic steady clock.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Deadline() = default;  ///< never expires
+
+  static Deadline never() { return Deadline(); }
+
+  static Deadline after(std::chrono::nanoseconds d) {
+    Deadline dl;
+    dl.has_deadline_ = true;
+    dl.at_ = Clock::now() + d;
+    return dl;
+  }
+
+  static Deadline at(Clock::time_point tp) {
+    Deadline dl;
+    dl.has_deadline_ = true;
+    dl.at_ = tp;
+    return dl;
+  }
+
+  bool has_deadline() const { return has_deadline_; }
+  Clock::time_point time_point() const { return at_; }
+
+  bool expired() const { return has_deadline_ && Clock::now() >= at_; }
+
+  /// Time left before expiry; zero when expired, Clock::duration::max()
+  /// when the deadline never expires.  Used by queue waits.
+  Clock::duration remaining() const {
+    if (!has_deadline_) return Clock::duration::max();
+    const auto now = Clock::now();
+    return now >= at_ ? Clock::duration::zero() : at_ - now;
+  }
+
+  /// The earlier of two deadlines ("never" loses to anything finite) --
+  /// how a batch derives its execution deadline from its members.
+  static Deadline earlier(const Deadline& a, const Deadline& b) {
+    if (!a.has_deadline_) return b;
+    if (!b.has_deadline_) return a;
+    return a.at_ <= b.at_ ? a : b;
+  }
+
+ private:
+  bool has_deadline_ = false;
+  Clock::time_point at_{};
+};
+
+/// Shared cancellation latch.  Default constructed it is inert (cannot be
+/// cancelled, costs one null check); make() arms an actual shared flag.
+/// Copies share the latch, so a client can keep one handle and hand the
+/// other to the service.  Cancellation is one-way and sticky.
+class CancelFlag {
+ public:
+  CancelFlag() = default;  ///< inert: cancelled() is always false
+
+  static CancelFlag make() {
+    CancelFlag c;
+    c.flag_ = std::make_shared<std::atomic<bool>>(false);
+    return c;
+  }
+
+  bool can_cancel() const { return flag_ != nullptr; }
+
+  /// Latches cancellation.  No-op on an inert flag.
+  void cancel() const {
+    if (flag_) flag_->store(true, std::memory_order_release);
+  }
+
+  bool cancelled() const {
+    return flag_ && flag_->load(std::memory_order_acquire);
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// The cooperative-control token threaded through the pipelines (as
+/// SolverOptions::control and through the service's request path): a
+/// deadline plus a cancellation flag.  check(stage) is the stage-boundary
+/// probe; cancellation is reported before deadline expiry when both hold.
+struct ExecControl {
+  Deadline deadline;
+  CancelFlag cancel;
+
+  ExecControl() = default;
+  explicit ExecControl(Deadline d, CancelFlag c = {})
+      : deadline(d), cancel(std::move(c)) {}
+
+  /// Ok while the work is still wanted; kCancelled / kDeadlineExceeded at
+  /// `where` otherwise.  Cheap: one atomic load plus (with a deadline set)
+  /// one steady_clock read.
+  Status check(Stage where) const {
+    if (cancel.cancelled()) {
+      return Status::Fail(FailureKind::kCancelled, where,
+                          "request cancelled");
+    }
+    if (deadline.expired()) {
+      return Status::Fail(FailureKind::kDeadlineExceeded, where,
+                          "deadline exceeded");
+    }
+    return Status::Ok();
+  }
+
+  /// Null-tolerant probe for call sites holding an optional pointer.
+  static Status check(const ExecControl* ctl, Stage where) {
+    return ctl ? ctl->check(where) : Status::Ok();
+  }
+};
+
+/// True when a failure means "the caller stopped wanting the answer", as
+/// opposed to a pipeline failure: retry loops must not burn attempts on it
+/// and fallbacks must not run after it.
+inline bool is_control_failure(FailureKind k) {
+  return k == FailureKind::kDeadlineExceeded || k == FailureKind::kCancelled ||
+         k == FailureKind::kShutdown;
+}
+
+}  // namespace kp::util

@@ -22,6 +22,7 @@
 // APIs remain as thin wrappers over the Status-returning ones.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <utility>
@@ -46,7 +47,20 @@ enum class FailureKind : std::uint8_t {
   kBadPrime,               ///< a CRT shard's prime divides det (or the shard
                            ///< failed deterministically under the shared
                            ///< transcript); redraw ONLY the prime
+  // Service-layer kinds (core/service.h).  These are not pipeline failures:
+  // they mean the caller stopped wanting the answer or the service refused
+  // the work, so retry loops must not burn attempts on them.
+  kDeadlineExceeded,       ///< request deadline passed (util/deadline.h)
+  kCancelled,              ///< request cooperatively cancelled by the client
+  kQueueOverflow,          ///< admission queue full; request shed (backpressure)
+  kSessionQuarantined,     ///< session circuit-breaker open after repeated
+                           ///< kVerifyMismatch; failing fast without pool time
+  kShutdown,               ///< service/pool shut down before the work ran
 };
+
+/// Number of FailureKind enumerators (kNone included).  Keep in lockstep
+/// with the enum; the name table below static_asserts against it.
+inline constexpr int kFailureKindCount = 17;
 
 /// Where it failed.  Stages double as fault-injection trigger keys
 /// (util/fault.h), so the count below must track the enumerators.
@@ -66,47 +80,85 @@ enum class Stage : std::uint8_t {
   kBlockGenerator,   ///< sigma-basis / matrix-BM generator recovery
   kCrtShard,                 ///< one word-size residue solve of a CRT-sharded run
   kRationalReconstruction,   ///< CRT recombination / rational reconstruction
+  // Service-layer stages (core/service.h); fault-injection trigger keys like
+  // every other stage, so each admission/batch/execute edge is testable.
+  kServiceAdmission,         ///< admission queue: enqueue, backpressure, shed
+  kServiceBatch,             ///< cross-request RHS coalescing into one batch
+  kServiceExecute,           ///< running a coalesced batch on the pool
 };
 
-inline constexpr int kStageCount = 15;
+inline constexpr int kStageCount = 18;
+
+namespace detail {
+
+// Name tables indexed by enumerator value.  The static_asserts pin BOTH the
+// table size and the last enumerator, so adding a FailureKind/Stage without
+// naming it -- or renumbering the enum -- is a compile error, not an
+// "unknown" string at runtime.
+inline constexpr const char* kFailureKindNames[] = {
+    "ok",
+    "degenerate-projection",
+    "singular-precondition",
+    "zero-constant-term",
+    "verify-mismatch",
+    "sample-set-too-small",
+    "singular-input",
+    "invalid-argument",
+    "op-budget-exhausted",
+    "injected-fault",
+    "division-by-zero",
+    "bad-prime",
+    "deadline-exceeded",
+    "cancelled",
+    "queue-overflow",
+    "session-quarantined",
+    "shutdown",
+};
+static_assert(sizeof(kFailureKindNames) / sizeof(kFailureKindNames[0]) ==
+                  kFailureKindCount,
+              "kFailureKindNames must name every FailureKind enumerator");
+static_assert(static_cast<int>(FailureKind::kShutdown) + 1 ==
+                  kFailureKindCount,
+              "kFailureKindCount must track the FailureKind enum");
+
+inline constexpr const char* kStageNames[] = {
+    "none",
+    "draw",
+    "precondition",
+    "projection",
+    "charpoly",
+    "newton-toeplitz",
+    "gohberg-semencul",
+    "solve-finish",
+    "verify",
+    "lift",
+    "circuit-eval",
+    "block-projection",
+    "block-generator",
+    "crt-shard",
+    "rational-reconstruction",
+    "service-admission",
+    "service-batch",
+    "service-execute",
+};
+static_assert(sizeof(kStageNames) / sizeof(kStageNames[0]) == kStageCount,
+              "kStageNames must name every Stage enumerator");
+static_assert(static_cast<int>(Stage::kServiceExecute) + 1 == kStageCount,
+              "kStageCount must track the Stage enum");
+
+}  // namespace detail
 
 inline const char* to_string(FailureKind k) {
-  switch (k) {
-    case FailureKind::kNone: return "ok";
-    case FailureKind::kDegenerateProjection: return "degenerate-projection";
-    case FailureKind::kSingularPrecondition: return "singular-precondition";
-    case FailureKind::kZeroConstantTerm: return "zero-constant-term";
-    case FailureKind::kVerifyMismatch: return "verify-mismatch";
-    case FailureKind::kSampleSetTooSmall: return "sample-set-too-small";
-    case FailureKind::kSingularInput: return "singular-input";
-    case FailureKind::kInvalidArgument: return "invalid-argument";
-    case FailureKind::kOpBudgetExhausted: return "op-budget-exhausted";
-    case FailureKind::kInjectedFault: return "injected-fault";
-    case FailureKind::kDivisionByZero: return "division-by-zero";
-    case FailureKind::kBadPrime: return "bad-prime";
-  }
-  return "unknown";
+  const auto i = static_cast<std::size_t>(k);
+  return i < static_cast<std::size_t>(kFailureKindCount)
+             ? detail::kFailureKindNames[i]
+             : "unknown";
 }
 
 inline const char* to_string(Stage s) {
-  switch (s) {
-    case Stage::kNone: return "none";
-    case Stage::kDraw: return "draw";
-    case Stage::kPrecondition: return "precondition";
-    case Stage::kProjection: return "projection";
-    case Stage::kCharpoly: return "charpoly";
-    case Stage::kNewtonToeplitz: return "newton-toeplitz";
-    case Stage::kGohbergSemencul: return "gohberg-semencul";
-    case Stage::kSolveFinish: return "solve-finish";
-    case Stage::kVerify: return "verify";
-    case Stage::kLift: return "lift";
-    case Stage::kCircuitEval: return "circuit-eval";
-    case Stage::kBlockProjection: return "block-projection";
-    case Stage::kBlockGenerator: return "block-generator";
-    case Stage::kCrtShard: return "crt-shard";
-    case Stage::kRationalReconstruction: return "rational-reconstruction";
-  }
-  return "unknown";
+  const auto i = static_cast<std::size_t>(s);
+  return i < static_cast<std::size_t>(kStageCount) ? detail::kStageNames[i]
+                                                   : "unknown";
 }
 
 /// Outcome of an operation: success, or the first detected failure with its
@@ -212,5 +264,40 @@ struct Diag {
   std::uint64_t shard_modulus = 0;
   std::int64_t shard_prime_index = -1;
 };
+
+/// One-line JSON object for a Diag record -- the structured form the service
+/// telemetry (core/service.h) and the benches emit instead of hand-formatted
+/// rows.  All fields are numbers, bools, or enum names from the
+/// static_assert-pinned tables above, so no string escaping is needed.
+inline std::string to_json(const Diag& d) {
+  std::string j = "{";
+  auto field = [&j](const char* key, const std::string& val, bool quote) {
+    if (j.size() > 1) j += ",";
+    j += "\"";
+    j += key;
+    j += "\":";
+    if (quote) j += "\"";
+    j += val;
+    if (quote) j += "\"";
+  };
+  field("kind", to_string(d.kind), true);
+  field("stage", to_string(d.stage), true);
+  field("attempt", std::to_string(d.attempt), false);
+  field("precondition_seed", std::to_string(d.precondition_seed), false);
+  field("projection_seed", std::to_string(d.projection_seed), false);
+  field("redrew_precondition", d.redrew_precondition ? "true" : "false",
+        false);
+  field("redrew_projection", d.redrew_projection ? "true" : "false", false);
+  field("injected", d.injected ? "true" : "false", false);
+  field("sample_size", std::to_string(d.sample_size), false);
+  field("ops_add", std::to_string(d.ops.add), false);
+  field("ops_mul", std::to_string(d.ops.mul), false);
+  field("ops_div", std::to_string(d.ops.div), false);
+  field("ops_zero_test", std::to_string(d.ops.zero_test), false);
+  field("shard_modulus", std::to_string(d.shard_modulus), false);
+  field("shard_prime_index", std::to_string(d.shard_prime_index), false);
+  j += "}";
+  return j;
+}
 
 }  // namespace kp::util

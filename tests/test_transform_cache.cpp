@@ -459,5 +459,77 @@ TEST(SharedTwiddleCacheTest, ConcurrentFirstTouchIsSafeAndCorrect) {
   EXPECT_EQ(failures.load(), 0);
 }
 
+// ---------------------------------------------------------------------------
+// Byte-budget / LRU bound on the shared twiddle cache (KP_CACHE_BUDGET).
+
+namespace {
+/// One NTT-path product at transform size ~2n, verified against schoolbook;
+/// populates the twiddle cache for that (p, n) as a side effect.
+void checked_mul(std::uint64_t p, std::size_t n, std::uint64_t seed) {
+  GFp f(p);
+  util::Prng prng(seed);
+  std::vector<GFp::Element> a(n), b(n);
+  for (auto& e : a) e = f.random(prng);
+  for (auto& e : b) e = f.random(prng);
+  PolyRing<GFp> fast(f, poly::MulStrategy::kNtt);
+  PolyRing<GFp> slow(f, poly::MulStrategy::kSchoolbook);
+  ASSERT_EQ(fast.mul(a, b), slow.mul(a, b)) << "p=" << p << " n=" << n;
+}
+}  // namespace
+
+TEST(SharedTwiddleCacheTest, ByteBudgetEvictsLruAndStaysCorrect) {
+  const auto before = poly::twiddle_cache_stats();
+  // Tight enough that at most one transform-size entry survives (the
+  // evictor always keeps the newest entry, so the hot path never starves).
+  poly::set_cache_budget(1);
+  for (int round = 0; round < 3; ++round) {
+    for (const std::size_t n : {1u << 4, 1u << 6, 1u << 8}) {
+      checked_mul(field::kNttPrime, n, 17 + round);
+    }
+  }
+  const auto after = poly::twiddle_cache_stats();
+  poly::set_cache_budget(0);  // restore: unlimited
+  EXPECT_GT(after.evictions, before.evictions);
+  EXPECT_LE(after.entries, 2u);  // budget held (evictor keeps >= 1 entry)
+}
+
+TEST(SharedTwiddleCacheTest, UnlimitedBudgetCachesAndCountsHits) {
+  poly::set_cache_budget(0);
+  checked_mul(field::kNttPrime, 1u << 5, 3);
+  const auto first = poly::twiddle_cache_stats();
+  checked_mul(field::kNttPrime, 1u << 5, 4);  // same size: pure hits
+  const auto second = poly::twiddle_cache_stats();
+  EXPECT_GT(second.hits, first.hits);
+  EXPECT_EQ(second.entries, first.entries);
+  EXPECT_EQ(second.evictions, first.evictions);
+}
+
+TEST(SharedTwiddleCacheTest, ConcurrentUseUnderTightBudgetIsSafe) {
+  // TSan target: lock-free readers racing the LRU evictor.  Every thread
+  // keeps verifying products while the tight budget forces continuous
+  // eviction underneath them.
+  poly::set_cache_budget(1);
+  std::atomic<int> bad{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([t, &bad] {
+      for (int i = 0; i < 12; ++i) {
+        const std::size_t n = 1u << (4 + (t + i) % 4);
+        GFp f(field::kNttPrime);
+        util::Prng prng(static_cast<std::uint64_t>(t * 100 + i));
+        std::vector<GFp::Element> a(n), b(n);
+        for (auto& e : a) e = f.random(prng);
+        for (auto& e : b) e = f.random(prng);
+        PolyRing<GFp> fast(f, poly::MulStrategy::kNtt);
+        PolyRing<GFp> slow(f, poly::MulStrategy::kSchoolbook);
+        if (fast.mul(a, b) != slow.mul(a, b)) bad.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  poly::set_cache_budget(0);
+  EXPECT_EQ(bad.load(), 0);
+}
+
 }  // namespace
 }  // namespace kp
